@@ -1,0 +1,21 @@
+"""Benchmark-harness defaults.
+
+Benchmarks regenerate every table and figure of the evaluation.  By
+default they run at a reduced scale so `pytest benchmarks/ --benchmark-only`
+finishes in minutes; export paper-scale knobs for a full run::
+
+    REPRO_TRIALS=100 REPRO_DATA_MB=1024 pytest benchmarks/ --benchmark-only
+"""
+
+import os
+
+os.environ.setdefault("REPRO_TRIALS", "8")
+# The scheme-ordering results (e.g. RRAID-A vs RRAID-S) are statements
+# about the paper's 1 GB working point; don't shrink the data size.
+os.environ.setdefault("REPRO_DATA_MB", "1024")
+os.environ.setdefault("REPRO_CODING_SAMPLES", "4")
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

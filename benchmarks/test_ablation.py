@@ -1,0 +1,44 @@
+"""Benches: design-choice ablations (§5.2.3, §5.3.3, §5.4)."""
+
+from conftest import run_once
+
+from repro.experiments.ablations import abl_admission, abl_cancel, abl_improved_lt
+
+
+def test_ablation_cancel(benchmark):
+    result = run_once(benchmark, abl_cancel)
+    print("\n" + result.text())
+    # Cancellation turns the I/O overhead from the full redundancy D=3
+    # into roughly the LT reception overhead.
+    assert result.io_overhead_with_cancel < result.io_overhead_without_cancel / 2
+
+
+def test_ablation_improved_lt(benchmark):
+    result = run_once(benchmark, abl_improved_lt)
+    print("\n" + result.text())
+    original, improved = result.rows
+    # The improved encoder guarantees decodability and equalises coverage.
+    assert improved["undecodable"].startswith("0/")
+    assert improved["deg_spread"] <= 1.0
+    assert original["deg_spread"] > 1.0
+
+
+def test_ablation_admission(benchmark):
+    result = run_once(benchmark, abl_admission)
+    print("\n" + result.text())
+    last = result.rows[-1]
+    # With 32 offered flows, the capacity cap preserves aggregate
+    # throughput that uncontrolled sharing destroys.
+    assert last["admitted"] == 4
+    assert last["agg_thr_capped"] > 2 * last["agg_thr_uncapped"]
+
+
+def test_ablation_code_choice(benchmark):
+    from repro.experiments.ablations import abl_code_choice
+
+    result = run_once(benchmark, abl_code_choice, trials=6)
+    print("\n" + result.text())
+    by = {r["scheme"]: r for r in result.rows}
+    # §5.2.1: the quadratic RS decode tail destroys large-read bandwidth;
+    # LT keeps decoding off the critical path.
+    assert by["robustore"]["bw_MBps"] > 5 * by["robustore-rs"]["bw_MBps"]

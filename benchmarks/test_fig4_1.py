@@ -1,0 +1,14 @@
+"""Bench: Fig 4-1 — cumulative reassembly probability curves."""
+
+from conftest import run_once
+
+from repro.experiments.coding_experiments import fig4_1
+
+
+def test_fig4_1(benchmark):
+    result = run_once(benchmark, fig4_1)
+    print("\n" + result.text())
+    # Paper shape: ~1.5K blocks for LT-coded vs ~3K for replicated.
+    assert result.median_coded < result.median_replicated
+    assert 1.2 * 1024 < result.median_coded < 2.2 * 1024
+    assert 2.4 * 1024 < result.median_replicated < 3.8 * 1024

@@ -1,0 +1,15 @@
+"""Bench: Fig 5-1 — LT reception overhead across C and delta."""
+
+from conftest import run_once
+
+from repro.experiments.coding_experiments import fig5_1
+
+
+def test_fig5_1(benchmark):
+    result = run_once(benchmark, fig5_1, ks=(128, 512, 1024))
+    print("\n" + result.text())
+    # Paper shape: at K=1024 good parameters reach overhead ~0.3-0.5;
+    # larger C raises the overhead (more low-degree blocks).
+    assert result.mean[(1024, 2.0, 0.5)] > result.mean[(1024, 0.1, 0.5)]
+    best = min(result.mean[(1024, c, d)] for c in result.cs for d in result.deltas)
+    assert best < 0.5

@@ -1,0 +1,14 @@
+"""Bench: Fig 5-2 — edges used during LT decoding (CPU-cost proxy)."""
+
+from conftest import run_once
+
+from repro.experiments.coding_experiments import fig5_2
+
+
+def test_fig5_2(benchmark):
+    result = run_once(benchmark, fig5_2)
+    print("\n" + result.text())
+    # Paper shape: C and delta trade CPU cost against reception overhead —
+    # small delta / small C densify the graph (more edges to peel).
+    k = 1024
+    assert result.mean[(k, 0.1, 0.01)] > result.mean[(k, 2.0, 0.5)]

@@ -1,0 +1,18 @@
+"""Bench: Fig 5-3 — real LT decoding bandwidth and reception overhead."""
+
+from conftest import run_once
+
+from repro.experiments.coding_experiments import fig5_3
+
+
+def test_fig5_3(benchmark):
+    result = run_once(benchmark, fig5_3, block_kb=32)
+    print("\n" + result.text())
+    rows = result.rows
+    # Decoding must sustain hundreds of MB/s (paper: ~400-550 on a 2.8 GHz
+    # Opteron; numpy XOR is memory-bound and comfortably exceeds that).
+    assert max(r.decode_mbps for r in rows) > 200
+    # The (C, delta) trade-off: the densest setting has the lowest
+    # reception overhead.
+    by_ovh = sorted(rows, key=lambda r: r.reception_overhead)
+    assert by_ovh[0].reception_overhead < by_ovh[-1].reception_overhead

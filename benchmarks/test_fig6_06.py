@@ -1,0 +1,39 @@
+"""Bench: Figs 6-6/6-7/6-8 — read vs number of disks."""
+
+from conftest import run_once
+
+from repro.experiments.layout_experiments import fig6_06
+
+
+def test_fig6_06(benchmark):
+    result = run_once(benchmark, fig6_06, disk_counts=(2, 8, 16, 64, 128))
+    print("\n" + result.text())
+    bw = result.series("bandwidth_mbps")
+    std = result.series("latency_std_s")
+    io = result.series("io_overhead")
+
+    at64 = result.xs.index(64)
+    # Paper shape at 64 disks: RobuSTore ~15x RAID-0; ordering
+    # RobuSTore > RRAID-A >~ RRAID-S > RAID-0 (small tolerance on the
+    # middle pair, which the paper separates by ~2x at 100 trials).
+    assert bw["robustore"][at64] > 8 * bw["raid0"][at64]
+    assert bw["robustore"][at64] > bw["rraid-a"][at64]
+    assert bw["rraid-a"][at64] > 0.85 * bw["rraid-s"][at64]
+    assert bw["rraid-s"][at64] > bw["raid0"][at64]
+
+    # Only RobuSTore improves ~linearly with disk count.
+    at8 = result.xs.index(8)
+    assert bw["robustore"][at64] > 4 * bw["robustore"][at8]
+    assert bw["raid0"][at64] < 3 * bw["raid0"][at8]
+
+    # Robustness: RobuSTore has the lowest latency variation at scale;
+    # RRAID-S the highest.
+    assert std["robustore"][at64] <= min(std[s][at64] for s in std)
+    assert std["rraid-s"][at64] >= max(std[s][at64] for s in std) * 0.99
+
+    # I/O overheads: RAID-0 zero, RRAID-A ~zero, RobuSTore ~40-60%,
+    # RRAID-S up to ~200%+.
+    assert io["raid0"][at64] == 0.0
+    assert io["rraid-a"][at64] < 0.15
+    assert 0.2 < io["robustore"][at64] < 0.9
+    assert io["rraid-s"][at64] > 1.0

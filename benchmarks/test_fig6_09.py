@@ -1,0 +1,19 @@
+"""Bench: Figs 6-9/6-10/6-11 — read vs coding block size."""
+
+from conftest import run_once
+
+from repro.experiments.layout_experiments import fig6_09
+
+
+def test_fig6_09(benchmark):
+    result = run_once(benchmark, fig6_09, block_mbs=(0.5, 1, 4, 16, 64))
+    print("\n" + result.text())
+    bw = result.series("bandwidth_mbps")["robustore"]
+    io = result.series("io_overhead")["robustore"]
+    # Paper shape: RobuSTore bandwidth decreases as blocks grow beyond
+    # ~1 MB (wasted in-flight bytes + decode-tail pipelining loss), and its
+    # I/O overhead grows with block size.
+    at1 = result.xs.index(1)
+    at64 = result.xs.index(64)
+    assert bw[at1] > bw[at64]
+    assert io[at64] > io[at1] - 0.05

@@ -1,0 +1,25 @@
+"""Bench: Figs 6-12/6-13/6-14 — read vs network latency (two sizes)."""
+
+from conftest import run_once
+
+from repro.experiments.layout_experiments import fig6_12
+
+
+def test_fig6_12(benchmark):
+    big = run_once(benchmark, fig6_12, rtts_ms=(1, 25, 100))
+    small = fig6_12(rtts_ms=(1, 25, 100), data_mb=128)
+    print("\n" + big.text())
+    print("\n" + small.text())
+
+    # Paper shape: speculative schemes pay a single RTT, so going from
+    # 1 ms to 100 ms adds at most ~a round trip of absolute latency...
+    for result in (big, small):
+        lat = result.series("latency_mean_s")
+        for scheme in ("raid0", "rraid-s", "robustore"):
+            assert lat[scheme][-1] - lat[scheme][0] < 0.30, scheme
+    # ...while adaptive RRAID-A pays a round trip per hand-off and loses
+    # multiple RTTs of latency (paper: -30% bandwidth for 1 GB).
+    lat_a = big.series("latency_mean_s")["rraid-a"]
+    bw_big = big.series("bandwidth_mbps")["rraid-a"]
+    assert lat_a[-1] - lat_a[0] > 0.25
+    assert bw_big[-1] > 0.5 * bw_big[0]

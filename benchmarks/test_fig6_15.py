@@ -1,0 +1,29 @@
+"""Bench: Figs 6-15/6-16/6-17 — read vs degree of data redundancy."""
+
+from conftest import run_once
+
+from repro.experiments.layout_experiments import fig6_15
+
+
+def test_fig6_15(benchmark):
+    result = run_once(benchmark, fig6_15, redundancies=(0.0, 1.0, 2.0, 3.0, 5.0))
+    print("\n" + result.text())
+    bw = result.series("bandwidth_mbps")
+    std = result.series("latency_std_s")
+    io = result.series("io_overhead")
+    xs = result.xs
+
+    # Paper shape: RobuSTore bandwidth rises rapidly and approaches its
+    # best above ~200% redundancy.
+    robo = bw["robustore"]
+    assert robo[xs.index(2.0)] > 3 * robo[xs.index(0.0)]
+    assert robo[xs.index(5.0)] < 1.5 * robo[xs.index(2.0)]
+
+    # 1-2x redundancy already buys most of the robustness benefit.
+    assert std["robustore"][xs.index(2.0)] < std["robustore"][xs.index(0.0)]
+
+    # I/O overhead: RRAID-S grows with redundancy; RobuSTore stays at its
+    # reception overhead; RRAID-A near zero.
+    assert io["rraid-s"][-1] > io["rraid-s"][xs.index(1.0)]
+    assert io["robustore"][-1] < 1.0
+    assert io["rraid-a"][-1] < 0.15

@@ -1,0 +1,21 @@
+"""Bench: Figs 6-24/6-25 — homogeneous layout + homogeneous bg load."""
+
+from conftest import run_once
+
+from repro.experiments.competitive_experiments import fig6_24
+
+
+def test_fig6_24(benchmark):
+    result = run_once(benchmark, fig6_24, intervals_ms=(6, 20, 80, 200))
+    print("\n" + result.text())
+    bw = result.series("bandwidth_mbps")
+
+    # Paper shape: everyone speeds up as the background gets lighter...
+    for scheme, ys in bw.items():
+        assert ys[-1] > ys[0], scheme
+
+    # ...and this is the one environment where RobuSTore *loses* (it pays
+    # LT reception overhead with no heterogeneity to tolerate), though by
+    # much less than the 50% overhead (paper: ~18% below RRAID-S's peak).
+    assert bw["robustore"][-1] < bw["rraid-s"][-1]
+    assert bw["robustore"][-1] > 0.5 * bw["rraid-s"][-1]

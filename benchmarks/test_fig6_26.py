@@ -1,0 +1,29 @@
+"""Bench: Figs 6-26/6-27/6-28 — read vs redundancy, heterogeneous bg."""
+
+from conftest import run_once
+
+from repro.experiments.competitive_experiments import fig6_26
+
+
+def test_fig6_26(benchmark):
+    result = run_once(benchmark, fig6_26, redundancies=(0.5, 2.0, 3.0, 5.0))
+    print("\n" + result.text())
+    bw = result.series("bandwidth_mbps")
+    std = result.series("latency_std_s")
+    io = result.series("io_overhead")
+    xs = result.xs
+
+    # Paper shape: RobuSTore's read bandwidth rises quickly with
+    # redundancy and dominates under competitive load.
+    assert bw["robustore"][xs.index(3.0)] > bw["robustore"][xs.index(0.5)]
+    at3 = xs.index(3.0)
+    assert bw["robustore"][at3] > bw["rraid-s"][at3]
+    assert bw["robustore"][at3] > bw["raid0"][at3]
+
+    # Beyond moderate redundancy its variation is the lowest.
+    assert std["robustore"][at3] <= std["rraid-s"][at3]
+
+    # I/O overheads keep their signatures under load.
+    assert io["robustore"][at3] < 1.0
+    assert io["rraid-a"][at3] < 0.15
+    assert io["rraid-s"][-1] > 1.0

@@ -1,0 +1,21 @@
+"""Bench: Figs 6-29/6-30/6-31 — write vs redundancy, heterogeneous bg."""
+
+from conftest import run_once
+
+from repro.experiments.competitive_experiments import fig6_29
+
+
+def test_fig6_29(benchmark):
+    result = run_once(benchmark, fig6_29, redundancies=(1.0, 3.0, 5.0))
+    print("\n" + result.text())
+    bw = result.series("bandwidth_mbps")
+    std = result.series("latency_std_s")
+    xs = result.xs
+    at3 = xs.index(3.0)
+
+    # Paper shape: write bandwidth decreases with redundancy; RobuSTore
+    # delivers much higher bandwidth and much steadier latency than the
+    # uniform writers even under competitive load.
+    assert bw["rraid-s"][xs.index(1.0)] > bw["rraid-s"][xs.index(5.0)]
+    assert bw["robustore"][at3] > 3 * bw["rraid-s"][at3]
+    assert std["robustore"][at3] < std["rraid-s"][at3]

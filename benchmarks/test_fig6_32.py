@@ -1,0 +1,22 @@
+"""Bench: Figs 6-32/6-33/6-34 — read-after-write under heterogeneous bg."""
+
+from conftest import run_once
+
+from repro.experiments.competitive_experiments import fig6_32
+
+
+def test_fig6_32(benchmark):
+    result = run_once(benchmark, fig6_32, redundancies=(1.0, 3.0))
+    print("\n" + result.text())
+    bw = result.series("bandwidth_mbps")
+    std = result.series("latency_std_s")
+    io = result.series("io_overhead")
+    at3 = result.xs.index(3.0)
+
+    # Paper shape: RobuSTore with unbalanced striping still beats the
+    # other three under competitive load, with the least variation, and
+    # its I/O overhead stays at the 40-60% reception overhead.
+    assert bw["robustore"][at3] > bw["raid0"][at3]
+    assert bw["robustore"][at3] > bw["rraid-s"][at3]
+    assert std["robustore"][at3] <= min(std[s][at3] for s in std) + 1e-9
+    assert 0.2 < io["robustore"][at3] < 1.0

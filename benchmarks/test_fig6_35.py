@@ -1,0 +1,21 @@
+"""Bench: Figs 6-35/6-36 — filesystem-cache impact."""
+
+from conftest import run_once
+
+from repro.experiments.cache_experiments import fig6_35
+
+
+def test_fig6_35(benchmark):
+    result = run_once(benchmark, fig6_35)
+    print("\n" + result.text())
+    bw = result.series("bandwidth_mbps")
+    uncached, cached = 0, 1
+
+    # Paper shape: caching raises bandwidth for every scheme (partial hits
+    # survive the aging by competing traffic); RobuSTore remains on top.
+    for scheme, ys in bw.items():
+        assert ys[cached] >= ys[uncached] * 0.95, scheme
+    assert bw["robustore"][cached] > bw["robustore"][uncached]
+    assert bw["robustore"][cached] >= max(ys[cached] for ys in bw.values()) * 0.999
+    std = result.series("latency_std_s")
+    assert std["robustore"][cached] <= 1.5 * min(ys[cached] for ys in std.values()) + 0.05

@@ -1,0 +1,16 @@
+"""Bench: Fig 6-5 — background-workload impact on foreground bandwidth."""
+
+from conftest import run_once
+
+from repro.experiments.disk_experiments import fig6_5
+
+
+def test_fig6_5(benchmark):
+    result = run_once(benchmark, fig6_5)
+    print("\n" + result.text())
+    bws = result.fg_bandwidth_mbps
+    # Paper shape: ~93% utilisation at 6 ms; foreground bandwidth grows
+    # monotonically as background requests arrive less frequently.
+    assert result.bg_utilization[0] > 0.85
+    assert all(b >= a for a, b in zip(bws, bws[1:]))
+    assert bws[-1] > 5 * bws[0]

@@ -1,0 +1,15 @@
+"""Bench: Table 5-1 — Reed-Solomon coding bandwidth vs word length."""
+
+from conftest import run_once
+
+from repro.experiments.coding_experiments import tab5_1
+
+
+def test_tab5_1(benchmark):
+    result = run_once(benchmark, tab5_1, data_mb=8)
+    print("\n" + result.text())
+    # Paper shape: bandwidth inversely proportional to K (quadratic cost).
+    enc = [r.encode_mbps for r in result.rows]  # K = 4, 8, 16, 32
+    assert enc[0] > enc[-1] * 2
+    dec = [r.decode_mbps for r in result.rows]
+    assert dec[0] > dec[-1] * 2

@@ -1,0 +1,16 @@
+"""Bench: Table 6-1 — calibrated disk bandwidth grid."""
+
+from conftest import run_once
+
+from repro.experiments.disk_experiments import tab6_1
+
+
+def test_tab6_1(benchmark):
+    result = run_once(benchmark, tab6_1, total_mb=32)
+    print("\n" + result.text())
+    stats = result.stats
+    # Paper: 0.52..53 MB/s, mean 14.9, ~100x spread.
+    assert stats["min_mbps"] < 1.0
+    assert stats["max_mbps"] > 25.0
+    assert 10 < stats["mean_mbps"] < 22
+    assert stats["spread"] > 40

@@ -1,0 +1,53 @@
+"""Trace-driven drive analysis: synthesise, save, replay, compare.
+
+Uses the trace machinery to study a single drive the way storage teams
+study production devices: generate a trace from a workload model, replay
+it under different queue-scheduling disciplines, and compare response-time
+distributions.  (§7.3 notes the original study lacked traces — this is the
+tooling it wished for.)
+
+Run:  python examples/trace_replay.py
+"""
+
+import numpy as np
+
+from repro.disk.trace import dump_trace, parse_trace, replay_trace, synthesize_trace
+from repro.disk.workload import InDiskLayout
+from repro.metrics.reporting import format_table
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    # A bursty scattered read workload: 4 KB random requests at 400 Hz.
+    records = synthesize_trace(
+        InDiskLayout(blocking_factor=8, p_sequential=0.0),
+        total_sectors=8 * 400,
+        arrival_rate_hz=400.0,
+        rng=rng,
+    )
+    text = dump_trace(records)
+    print(f"synthesised {len(records)} requests "
+          f"({text.count(chr(10)) - 1} trace lines); first three:")
+    for line in text.splitlines()[1:4]:
+        print("   ", line)
+
+    records = parse_trace(text)  # round-trip through the on-disk format
+    rows = []
+    for sched in ("fcfs", "sstf", "elevator"):
+        report = replay_trace(records, rng=np.random.default_rng(42), scheduler=sched)
+        rows.append(
+            {
+                "scheduler": sched,
+                "mean resp (ms)": round(report.mean_response_s * 1000, 1),
+                "p99 resp (ms)": round(report.p99_response_s * 1000, 1),
+                "makespan (s)": round(report.makespan_s, 2),
+            }
+        )
+    print()
+    print(format_table("Replay under different disk schedulers", rows))
+    print("\nSeek-aware disciplines (SSTF/elevator) cut response times on"
+          "\nscattered load — the §2.1.1 disk behaviour the simulator models.")
+
+
+if __name__ == "__main__":
+    main()

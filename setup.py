@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The project is fully described by pyproject.toml; this file exists so
+`pip install -e .` also works on minimal/offline environments whose pip
+cannot build PEP 660 editable wheels (no `wheel` package available) and
+falls back to the legacy `setup.py develop` path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,181 @@
+"""Credential-chain access control (Appendix C).
+
+A capability model for federated, multi-domain storage: the data owner
+signs a credential granting rights to a licensee's public key; the
+licensee can delegate by appending a further credential signed by itself.
+A storage server verifies a chain by walking it root-to-leaf, checking
+each signature and intersecting the granted rights and conditions.
+
+Cryptography is simulated (HMAC-style tags over a shared notion of
+"private key" = secret string); the *structure* — chains, delegation,
+condition intersection, expiry — is faithful to Appendix C's two-level
+credential-chain example.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A principal's simulated key pair (public = fingerprint of secret)."""
+
+    name: str
+    secret: str
+
+    @property
+    def public(self) -> str:
+        return hashlib.sha256(self.secret.encode()).hexdigest()[:16]
+
+
+def _sign(secret: str, payload: str) -> str:
+    return hmac.new(secret.encode(), payload.encode(), hashlib.sha256).hexdigest()[:24]
+
+
+@dataclass(frozen=True)
+class Credential:
+    """One link of a credential chain.
+
+    Attributes
+    ----------
+    authorizer_public:
+        Public key of the granting principal.
+    licensee_public:
+        Public key of the principal being granted rights.
+    rights:
+        Granted rights, e.g. ``frozenset("RWX")``.
+    app_domain, handle:
+        Condition fields (Appendix C's examples guard on both).
+    not_before, not_after:
+        Validity window (simulation seconds); ``None`` = unbounded.
+    signature:
+        Tag over the other fields by the authorizer's key.
+    """
+
+    authorizer_public: str
+    licensee_public: str
+    rights: frozenset
+    app_domain: str
+    handle: str
+    not_before: float | None
+    not_after: float | None
+    signature: str
+
+    def payload(self) -> str:
+        return "|".join(
+            [
+                self.authorizer_public,
+                self.licensee_public,
+                "".join(sorted(self.rights)),
+                self.app_domain,
+                self.handle,
+                repr(self.not_before),
+                repr(self.not_after),
+            ]
+        )
+
+
+def issue(
+    authorizer: KeyPair,
+    licensee_public: str,
+    rights: str,
+    app_domain: str = "RobuSTore",
+    handle: str = "",
+    not_before: float | None = None,
+    not_after: float | None = None,
+) -> Credential:
+    """Create and sign a credential from ``authorizer`` to a licensee."""
+    cred = Credential(
+        authorizer_public=authorizer.public,
+        licensee_public=licensee_public,
+        rights=frozenset(rights),
+        app_domain=app_domain,
+        handle=handle,
+        not_before=not_before,
+        not_after=not_after,
+        signature="",
+    )
+    return replace(cred, signature=_sign(authorizer.secret, cred.payload()))
+
+
+@dataclass
+class CredentialChain:
+    """A delegation chain: root credential first."""
+
+    links: list[Credential] = field(default_factory=list)
+
+    def delegate(
+        self,
+        holder: KeyPair,
+        licensee_public: str,
+        rights: str,
+        **conditions,
+    ) -> "CredentialChain":
+        """Holder (licensee of the last link) grants a sub-credential."""
+        if not self.links:
+            raise ValueError("cannot delegate from an empty chain")
+        last = self.links[-1]
+        if holder.public != last.licensee_public:
+            raise PermissionError("only the current licensee may delegate")
+        sub = issue(
+            holder,
+            licensee_public,
+            rights,
+            app_domain=conditions.get("app_domain", last.app_domain),
+            handle=conditions.get("handle", last.handle),
+            not_before=conditions.get("not_before"),
+            not_after=conditions.get("not_after"),
+        )
+        return CredentialChain(self.links + [sub])
+
+
+class Verifier:
+    """Server-side chain verification.
+
+    Parameters
+    ----------
+    root_public:
+        The administrator public key the server trusts.
+    secrets:
+        Simulated PKI: map from public key to secret, standing in for
+        signature verification with real asymmetric crypto.
+    """
+
+    def __init__(self, root_public: str, secrets: dict[str, str]) -> None:
+        self.root_public = root_public
+        self._secrets = dict(secrets)
+
+    def verify(
+        self,
+        chain: CredentialChain,
+        presenter_public: str,
+        right: str,
+        app_domain: str = "RobuSTore",
+        handle: str = "",
+        now: float = 0.0,
+    ) -> bool:
+        """Check that ``presenter`` holds ``right`` under the conditions."""
+        if not chain.links:
+            return False
+        if chain.links[0].authorizer_public != self.root_public:
+            return False
+        prev_licensee = None
+        effective: frozenset = frozenset("RWX")
+        for link in chain.links:
+            secret = self._secrets.get(link.authorizer_public)
+            if secret is None or _sign(secret, link.payload()) != link.signature:
+                return False
+            if prev_licensee is not None and link.authorizer_public != prev_licensee:
+                return False  # broken delegation chain
+            if link.app_domain != app_domain or (link.handle and link.handle != handle):
+                return False
+            if link.not_before is not None and now < link.not_before:
+                return False
+            if link.not_after is not None and now > link.not_after:
+                return False
+            effective &= link.rights
+            prev_licensee = link.licensee_public
+        return prev_licensee == presenter_public and right in effective

@@ -1,0 +1,101 @@
+"""Virtual filer: network latency + filesystem cache in front of disks.
+
+§6.2.2: "The virtual filer ... models the network latency between client
+and server, and maintains the filesystem cache.  ...  the latency is
+applied per data request instead of per data access. ...  If the data are
+in-cache, the filer directly sends the data to the client at a rate decided
+by the maximum network speed; if the data is not in cache or is only partly
+in cache, the filer requests the missing data blocks from the corresponding
+virtual disks."
+
+Writes are write-through (§6.2.5): they populate the cache and always reach
+the disk.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.fscache import SetAssociativeCache
+from repro.net.link import Link
+
+
+class Filer:
+    """One storage server front-end.
+
+    Parameters
+    ----------
+    filer_id:
+        Index in the cluster.
+    disk_ids:
+        The (eight, typically) disks attached to this filer.
+    link:
+        Client link (fixed RTT, plentiful bandwidth).
+    cache:
+        Shared filesystem cache; ``None`` disables caching.
+    """
+
+    def __init__(
+        self,
+        filer_id: int,
+        disk_ids: list[int],
+        link: Link,
+        cache: SetAssociativeCache | None = None,
+    ) -> None:
+        self.filer_id = filer_id
+        self.disk_ids = list(disk_ids)
+        self.link = link
+        self.cache = cache
+        self.disk_bytes_read = 0
+
+    # -- cache interface (block granularity) -----------------------------------
+    def cached_blocks(self, file_name: str, block_ids) -> np.ndarray:
+        """Boolean mask: which of the requested blocks are fully cached.
+
+        Probes without disturbing LRU order (the actual access happens in
+        :meth:`read_access` / :meth:`write_access`).
+        """
+        if self.cache is None:
+            return np.zeros(len(list(block_ids)), dtype=bool)
+        return np.array(
+            [self.cache.contains_line((file_name, int(b))) for b in block_ids],
+            dtype=bool,
+        )
+
+    def record_read(self, file_name: str, block_ids, block_bytes: int) -> None:
+        """Blocks served from disk enter the cache; hits refresh LRU."""
+        if self.cache is None:
+            self.disk_bytes_read += len(list(block_ids)) * block_bytes
+            return
+        for b in block_ids:
+            key = (file_name, int(b))
+            if not self.cache.lookup_line(key):
+                self.disk_bytes_read += block_bytes
+                self.cache.insert_line(key)
+
+    def record_write(self, file_name: str, block_ids, block_bytes: int) -> None:
+        """Write-through: populate the cache, all bytes hit the disk."""
+        if self.cache is not None:
+            for b in block_ids:
+                self.cache.insert_line((file_name, int(b)))
+
+    def age_cache(self, nbytes: int) -> None:
+        """Competing traffic pushes ``nbytes`` of other data through the
+        cache, evicting part of whatever was resident (§6.3.3: the 2 GB
+        cache is shared by all accesses to the filer's eight disks)."""
+        if self.cache is None or nbytes <= 0:
+            return
+        lines = nbytes // self.cache.line_bytes
+        for i in range(int(lines)):
+            self._age_counter = getattr(self, "_age_counter", 0) + 1
+            self.cache.insert_line(("__aging__", self._age_counter))
+
+    # -- latency helpers ----------------------------------------------------------
+    def request_arrival_delay(self) -> float:
+        """Client -> filer one-way latency for a request message."""
+        return self.link.one_way_s
+
+    def response_delay(self, nbytes: int) -> float:
+        """Filer -> client one-way latency + serialization for a payload."""
+        self.link.account(nbytes)
+        return self.link.one_way_s + self.link.transfer_time(nbytes)

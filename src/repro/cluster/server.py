@@ -1,0 +1,172 @@
+"""Storage server: one filer plus its attached disks (§4.2, §6.2.2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.admission import AdmissionController
+from repro.cluster.filer import Filer
+from repro.cluster.fscache import SetAssociativeCache
+from repro.disk.mechanics import DiskMechanics
+from repro.disk.service import BackgroundLoad, BlockService
+from repro.disk.workload import InDiskLayout, draw_layout
+from repro.net.link import Link
+
+
+@dataclass
+class DiskState:
+    """Per-trial state of one virtual disk.
+
+    The in-disk layout and zone are redrawn per access trial — they are the
+    experiments' primary source of performance variation (§6.2.5).
+    ``failed`` disks never respond: their blocks are effectively erased,
+    the situation erasure-coded redundancy exists to survive (§5.3.1).
+    """
+
+    disk_id: int
+    layout: InDiskLayout
+    spt: int
+    background: BackgroundLoad | None = None
+    failed: bool = False
+
+
+class StorageServer:
+    """A filer fronting several disks, with optional admission control."""
+
+    def __init__(
+        self,
+        server_id: int,
+        disk_ids: list[int],
+        link: Link,
+        cache: SetAssociativeCache | None = None,
+        admission: AdmissionController | None = None,
+    ) -> None:
+        self.server_id = server_id
+        self.filer = Filer(server_id, disk_ids, link, cache)
+        self.admission = admission or AdmissionController()
+
+    @property
+    def disk_ids(self) -> list[int]:
+        return self.filer.disk_ids
+
+
+class Cluster:
+    """The simulated storage cluster: servers, disks, per-trial disk state.
+
+    Parameters
+    ----------
+    n_disks:
+        Total disks in the pool (128 in the baseline).
+    disks_per_filer:
+        Disks per storage server (8 in the baseline).
+    rtt_s:
+        Client <-> server round-trip latency.
+    fs_cache_bytes:
+        Per-filer filesystem cache size; 0 disables caching.
+    mechanics:
+        Shared drive mechanics.
+    """
+
+    def __init__(
+        self,
+        n_disks: int = 128,
+        disks_per_filer: int = 8,
+        rtt_s: float = 0.001,
+        fs_cache_bytes: int = 0,
+        cache_line_bytes: int = 1 << 20,
+        mechanics: DiskMechanics | None = None,
+    ) -> None:
+        if n_disks < 1 or disks_per_filer < 1:
+            raise ValueError("disk counts must be positive")
+        self.n_disks = n_disks
+        self.disks_per_filer = disks_per_filer
+        self.mechanics = mechanics or DiskMechanics()
+        self.servers: list[StorageServer] = []
+        n_filers = -(-n_disks // disks_per_filer)
+        for f in range(n_filers):
+            ids = list(range(f * disks_per_filer, min((f + 1) * disks_per_filer, n_disks)))
+            cache = (
+                SetAssociativeCache(fs_cache_bytes, line_bytes=cache_line_bytes)
+                if fs_cache_bytes > 0
+                else None
+            )
+            self.servers.append(StorageServer(f, ids, Link(rtt_s=rtt_s), cache))
+        self._disk_states: dict[int, DiskState] = {}
+
+    @property
+    def n_filers(self) -> int:
+        return len(self.servers)
+
+    def server_of_disk(self, disk_id: int) -> StorageServer:
+        return self.servers[disk_id // self.disks_per_filer]
+
+    def filer_of_disk(self, disk_id: int) -> Filer:
+        return self.server_of_disk(disk_id).filer
+
+    # -- per-trial state --------------------------------------------------------
+    def redraw_disk_states(
+        self,
+        rng: np.random.Generator,
+        layout: InDiskLayout | None = None,
+        background_intervals: dict[int, float] | None = None,
+        fixed_zone: int | None = None,
+        failed_disks: set[int] | None = None,
+    ) -> None:
+        """Draw fresh per-disk layout/zone state for a new access trial.
+
+        ``layout=None`` gives each disk an independent heterogeneous draw;
+        passing a fixed layout models the homogeneous environment.
+        ``background_intervals`` maps disk_id -> competitive-load interval.
+        ``fixed_zone`` pins every disk's data to one zone (fully homogeneous
+        media rate); otherwise each disk draws a random zone.
+        ``failed_disks`` never respond to requests.
+        """
+        zones = self.mechanics.geometry.zones
+        bg = background_intervals or {}
+        failed = failed_disks or set()
+        for d in range(self.n_disks):
+            lay = layout if layout is not None else draw_layout(rng)
+            zi = fixed_zone if fixed_zone is not None else int(rng.integers(0, len(zones)))
+            spt = int(zones[zi].sectors_per_track)
+            load = BackgroundLoad(bg[d]) if d in bg else None
+            self._disk_states[d] = DiskState(d, lay, spt, load, failed=d in failed)
+
+    def disk_state(self, disk_id: int) -> DiskState:
+        return self._disk_states[disk_id]
+
+    def block_service(self, disk_id: int, rng: np.random.Generator) -> BlockService:
+        """A vectorised service model bound to the disk's current state."""
+        st = self._disk_states[disk_id]
+        return BlockService(
+            self.mechanics, st.layout, st.spt, rng, st.background, failed=st.failed
+        )
+
+    def age_caches(self, window_s: float) -> None:
+        """Run ``window_s`` of competing cache traffic through every filer.
+
+        Each disk's background stream (if any) reads ~50-sector requests at
+        its interval; that competing data shares the filer cache and evicts
+        resident lines (§6.3.3).
+        """
+        from repro.disk.geometry import SECTOR_BYTES
+        from repro.disk.workload import BACKGROUND_SECTORS
+
+        for server in self.servers:
+            volume = 0.0
+            for d in server.disk_ids:
+                st = self._disk_states.get(d)
+                if st is not None and st.background is not None:
+                    rate = BACKGROUND_SECTORS * SECTOR_BYTES / st.background.interval_s
+                    volume += rate * window_s
+            server.filer.age_cache(int(volume))
+
+    # -- accounting -----------------------------------------------------------
+    @property
+    def total_network_bytes(self) -> int:
+        return sum(s.filer.link.bytes_sent for s in self.servers)
+
+    def reset_network_counters(self) -> None:
+        for s in self.servers:
+            s.filer.link.bytes_sent = 0

@@ -1,0 +1,55 @@
+"""Single-parity erasure code (the RAID-5 mechanism, §2.2.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coding.xorblocks import xor_reduce
+
+
+class ParityCode:
+    """(K+1, K) parity code: one XOR parity block, recovers one erasure."""
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.n = k + 1
+
+    @property
+    def rate(self) -> float:
+        return self.k / self.n
+
+    def encode(self, data_blocks: np.ndarray) -> np.ndarray:
+        """Return K data blocks followed by their parity block."""
+        data_blocks = np.asarray(data_blocks, dtype=np.uint8)
+        if data_blocks.shape[0] != self.k:
+            raise ValueError(f"expected {self.k} blocks, got {data_blocks.shape[0]}")
+        parity = xor_reduce(data_blocks, np.arange(self.k))
+        return np.vstack([data_blocks, parity[None, :]])
+
+    def decode(self, coded_ids, coded_blocks: np.ndarray) -> np.ndarray:
+        """Reconstruct from any K of the K+1 blocks."""
+        ids = list(int(i) for i in coded_ids)
+        coded_blocks = np.asarray(coded_blocks, dtype=np.uint8)
+        if len(set(ids)) < self.k:
+            raise ValueError(f"need {self.k} distinct blocks")
+        out = np.zeros((self.k, coded_blocks.shape[1]), dtype=np.uint8)
+        have = set()
+        parity_row = None
+        for i, bid in enumerate(ids):
+            if bid < self.k:
+                if bid not in have:
+                    out[bid] = coded_blocks[i]
+                    have.add(bid)
+            else:
+                parity_row = coded_blocks[i]
+        missing = [i for i in range(self.k) if i not in have]
+        if len(missing) > 1:
+            raise ValueError(f"parity code cannot recover {len(missing)} erasures")
+        if missing:
+            if parity_row is None:
+                raise ValueError("missing data block and no parity supplied")
+            rest = xor_reduce(out, [i for i in range(self.k) if i != missing[0]])
+            out[missing[0]] = np.bitwise_xor(parity_row, rest)
+        return out

@@ -1,0 +1,137 @@
+"""Raptor codes: a high-rate pre-code concatenated with a weakened LT code.
+
+Background implementation of §2.2.3 (Shokrollahi 2003): the K input symbols
+are pre-encoded with a fixed-rate erasure code into m > K intermediate
+symbols; a light LT code (constant average degree) then produces an
+unlimited stream of output symbols.  Decoding first peels the LT layer to
+recover *most* intermediate symbols, then the pre-code fills the holes.
+
+We use a systematic Reed-Solomon pre-code over block groups so that the
+construction stays exact for arbitrary K (GF(256) limits one RS word to 256
+symbols; larger K is pre-coded in independent interleaved groups).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coding.lt import LTCode, LTGraph
+from repro.coding.peeling import PeelingDecoder
+from repro.coding.reed_solomon import ReedSolomonCode
+
+
+class RaptorCode:
+    """Raptor code = RS pre-code (rate ``precode_rate``) + weakened LT.
+
+    Parameters
+    ----------
+    k:
+        Number of input blocks.
+    precode_rate:
+        Rate of the pre-code; intermediate count m = ceil(k / rate).
+    lt_c, lt_delta:
+        Parameters of the inner LT code over the m intermediate symbols.
+    group:
+        Pre-code group width (<= 128 so each RS word fits GF(256)).
+    """
+
+    def __init__(
+        self,
+        k: int,
+        precode_rate: float = 0.95,
+        lt_c: float = 0.05,
+        lt_delta: float = 0.5,
+        group: int = 128,
+    ) -> None:
+        if not 0 < precode_rate < 1:
+            raise ValueError("precode_rate must be in (0, 1)")
+        if group > 128:
+            raise ValueError("group must be <= 128 for the GF(256) pre-code")
+        self.k = k
+        self.group = min(group, k)
+        self.groups = -(-k // self.group)
+        per_group_parity = max(1, int(round(self.group * (1 / precode_rate - 1))))
+        self.per_group_parity = per_group_parity
+        self.m = k + self.groups * per_group_parity
+        self._rs = ReedSolomonCode(self.group, self.group + per_group_parity)
+        self.lt = LTCode(self.m, c=lt_c, delta=lt_delta)
+
+    def build_graph(self, n: int, rng: np.random.Generator) -> LTGraph:
+        """LT graph over the m intermediate symbols, n output symbols."""
+        return self.lt.build_graph(n, rng)
+
+    # -- data path ---------------------------------------------------------
+    def precode(self, data_blocks: np.ndarray) -> np.ndarray:
+        """Expand k input blocks into m intermediate blocks."""
+        data_blocks = np.asarray(data_blocks, dtype=np.uint8)
+        if data_blocks.shape[0] != self.k:
+            raise ValueError(f"expected {self.k} blocks, got {data_blocks.shape[0]}")
+        out = [data_blocks]
+        for g in range(self.groups):
+            seg = data_blocks[g * self.group : (g + 1) * self.group]
+            if seg.shape[0] < self.group:  # zero-pad the ragged last group
+                pad = np.zeros((self.group - seg.shape[0], seg.shape[1]), np.uint8)
+                seg = np.vstack([seg, pad])
+            coded = self._rs.encode(seg)
+            out.append(coded[self.group :])
+        return np.vstack(out)
+
+    def encode(self, data_blocks: np.ndarray, graph: LTGraph) -> np.ndarray:
+        """Full Raptor encode: pre-code then LT over intermediates."""
+        inter = self.precode(data_blocks)
+        return self.lt.encode(inter, graph)
+
+    def decode(
+        self,
+        graph: LTGraph,
+        coded_ids,
+        coded_blocks: np.ndarray,
+        block_len: int,
+    ) -> np.ndarray | None:
+        """Attempt reconstruction of the k input blocks.
+
+        Returns ``None`` when the supplied blocks are insufficient.
+        """
+        decoder = PeelingDecoder(graph, block_len=block_len)
+        coded_blocks = np.asarray(coded_blocks, dtype=np.uint8)
+        for cid, payload in zip(coded_ids, coded_blocks):
+            decoder.add(int(cid), payload)
+            if decoder.is_complete:
+                break
+
+        if decoder.is_complete:
+            return decoder.get_data()[: self.k]
+
+        # LT peeling stalled: let the pre-code repair the holes per group.
+        inter = decoder._data
+        known = decoder._decoded
+        if inter is None:
+            return None
+        result = np.zeros((self.k, block_len), dtype=np.uint8)
+        for g in range(self.groups):
+            data_lo = g * self.group
+            data_hi = min(self.k, data_lo + self.group)
+            parity_lo = self.k + g * self.per_group_parity
+            ids = []
+            vals = []
+            for local, idx in enumerate(range(data_lo, data_lo + self.group)):
+                if idx < self.k and known[idx]:
+                    ids.append(local)
+                    vals.append(inter[idx])
+                elif idx >= self.k:  # zero-padded tail rows are always known
+                    ids.append(local)
+                    vals.append(np.zeros(block_len, dtype=np.uint8))
+            for local in range(self.per_group_parity):
+                idx = parity_lo + local
+                if known[idx]:
+                    ids.append(self.group + local)
+                    vals.append(inter[idx])
+            if len(ids) < self.group:
+                return None
+            decoded = self._rs.decode(np.array(ids), np.vstack(vals))
+            result[data_lo:data_hi] = decoded[: data_hi - data_lo]
+        return result
+
+    def overhead_estimate(self) -> float:
+        """Pre-code expansion m/k - 1 (the price of linear-time decoding)."""
+        return self.m / self.k - 1.0

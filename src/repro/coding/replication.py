@@ -1,0 +1,86 @@
+"""Plain-text replication expressed as a (degenerate) erasure code.
+
+Used by the RRAID-S / RRAID-A baselines and by the Appendix A analysis:
+replica ``r`` of original block ``i`` is coded block ``r * K + i``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ReplicationCode:
+    """(R*K, K) replication: each original block copied ``replicas`` times."""
+
+    def __init__(self, k: int, replicas: int) -> None:
+        if k < 1 or replicas < 1:
+            raise ValueError("k and replicas must be >= 1")
+        self.k = k
+        self.replicas = replicas
+        self.n = k * replicas
+
+    @property
+    def rate(self) -> float:
+        return 1.0 / self.replicas
+
+    @property
+    def redundancy(self) -> float:
+        return float(self.replicas - 1)
+
+    def original_of(self, coded_id: int) -> int:
+        """Original block a coded (replica) id carries."""
+        if not 0 <= coded_id < self.n:
+            raise IndexError(coded_id)
+        return coded_id % self.k
+
+    def replica_ids(self, original_id: int) -> np.ndarray:
+        """All coded ids holding copies of ``original_id``."""
+        if not 0 <= original_id < self.k:
+            raise IndexError(original_id)
+        return original_id + self.k * np.arange(self.replicas)
+
+    def encode(self, data_blocks: np.ndarray) -> np.ndarray:
+        data_blocks = np.asarray(data_blocks, dtype=np.uint8)
+        if data_blocks.shape[0] != self.k:
+            raise ValueError(f"expected {self.k} blocks, got {data_blocks.shape[0]}")
+        return np.tile(data_blocks, (self.replicas, 1))
+
+    def decode(self, coded_ids, coded_blocks: np.ndarray) -> np.ndarray:
+        """Reconstruct; requires at least one replica of every original."""
+        coded_blocks = np.asarray(coded_blocks, dtype=np.uint8)
+        out = np.zeros((self.k, coded_blocks.shape[1]), dtype=np.uint8)
+        have = np.zeros(self.k, dtype=bool)
+        for i, cid in enumerate(coded_ids):
+            orig = self.original_of(int(cid))
+            if not have[orig]:
+                out[orig] = coded_blocks[i]
+                have[orig] = True
+        if not have.all():
+            missing = int(np.count_nonzero(~have))
+            raise ValueError(f"{missing} original blocks have no received replica")
+        return out
+
+    def covered(self, coded_ids) -> bool:
+        """Whether the id set contains >= 1 replica of every original block."""
+        have = np.zeros(self.k, dtype=bool)
+        for cid in coded_ids:
+            have[int(cid) % self.k] = True
+        return bool(have.all())
+
+    def blocks_needed(self, order) -> int:
+        """Prefix length of ``order`` needed to cover all originals.
+
+        Returns ``len(order) + 1`` if never covered — the replication
+        analogue of :func:`repro.coding.peeling.blocks_needed`.
+        """
+        order = list(order)
+        have = np.zeros(self.k, dtype=bool)
+        remaining = self.k
+        for count, cid in enumerate(order, start=1):
+            orig = int(cid) % self.k
+            if not have[orig]:
+                have[orig] = True
+                remaining -= 1
+                if remaining == 0:
+                    return count
+        return len(order) + 1

@@ -1,0 +1,88 @@
+"""Degree distributions for LT codes (Luby 2002, §2.2.3 of the dissertation).
+
+The robust soliton distribution is parameterised by ``c`` (written ``C`` in
+the dissertation's figures) and ``delta``; it adds a spike at degree K/R and
+extra mass at degree 1 on top of the ideal soliton, where
+R = c * ln(K / delta) * sqrt(K).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def ideal_soliton(k: int) -> np.ndarray:
+    """Ideal soliton distribution rho over degrees 1..k.
+
+    rho(1) = 1/k, rho(i) = 1 / (i (i-1)) for i >= 2.
+
+    Returns an array of length ``k + 1``; index 0 is unused (zero).
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    rho = np.zeros(k + 1, dtype=np.float64)
+    rho[1] = 1.0 / k
+    if k >= 2:
+        i = np.arange(2, k + 1, dtype=np.float64)
+        rho[2:] = 1.0 / (i * (i - 1.0))
+    return rho
+
+
+def robust_soliton(k: int, c: float = 0.1, delta: float = 0.5) -> np.ndarray:
+    """Robust soliton distribution mu over degrees 1..k.
+
+    Parameters
+    ----------
+    k:
+        Number of input symbols (word length).
+    c:
+        Luby's constant ``c > 0`` (the dissertation's ``C``).  Larger values
+        enlarge R, putting more mass on low degrees: cheaper decoding but
+        higher reception overhead.
+    delta:
+        Failure-probability bound ``0 < delta < 1``; smaller values thicken
+        the spike, lowering overhead at higher CPU cost.
+
+    Returns
+    -------
+    numpy.ndarray
+        Probabilities over degrees, length ``k + 1`` (index 0 unused).
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if c <= 0:
+        raise ValueError("c must be positive")
+    if not (0 < delta < 1):
+        raise ValueError("delta must be in (0, 1)")
+
+    rho = ideal_soliton(k)
+    tau = np.zeros(k + 1, dtype=np.float64)
+    r = c * math.log(k / delta) * math.sqrt(k)
+    spike = int(round(k / r)) if r > 0 else k
+    spike = max(1, min(k, spike))
+    if spike > 1:
+        i = np.arange(1, spike, dtype=np.float64)
+        tau[1:spike] = r / (i * k)
+    tau[spike] += r * math.log(r / delta) / k if r > delta else 0.0
+
+    mu = rho + tau
+    beta = mu.sum()
+    return mu / beta
+
+
+def expected_degree(dist: np.ndarray) -> float:
+    """Mean node degree under a degree distribution."""
+    degrees = np.arange(dist.size, dtype=np.float64)
+    return float(np.dot(degrees, dist))
+
+
+def sample_degrees(
+    dist: np.ndarray, n: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Draw ``n`` degrees i.i.d. from ``dist`` (vectorised inverse-CDF)."""
+    cdf = np.cumsum(dist)
+    cdf[-1] = 1.0  # guard against round-off
+    u = rng.random(n)
+    return np.searchsorted(cdf, u, side="right").astype(np.int64)

@@ -1,0 +1,160 @@
+"""Tornado codes: cascaded sparse bipartite graphs capped by an MDS code.
+
+Background implementation of §2.2.3: a cascade ``B_0, B_1, ..., B_m, A``
+where level ``i`` produces ``K * beta^(i+1)`` check symbols from the
+previous level's symbols, and the last (smallest) level is protected by a
+Reed-Solomon code.  The code word is the original symbols plus all check
+symbols, giving overall rate ``1 - beta``.
+
+This is a faithful, simple realisation (regular random graphs rather than
+the carefully optimised irregular distributions of Luby et al. 1997); it
+exists to let the test-suite and examples compare code families, not to be
+the RobuSTore workhorse.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coding.reed_solomon import ReedSolomonCode
+from repro.coding.xorblocks import xor_reduce
+
+
+class TornadoCode:
+    """Cascade erasure code C(B_0 .. B_m, A).
+
+    Parameters
+    ----------
+    k:
+        Number of original blocks.
+    beta:
+        Expansion ratio per level, 0 < beta < 1.  Each level ``i`` has
+        ``round(k * beta**(i+1))`` check symbols.
+    levels:
+        Number of bipartite levels before the MDS cap.
+    left_degree:
+        Edges per message symbol in each bipartite graph.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        beta: float = 0.5,
+        levels: int = 3,
+        left_degree: int = 3,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if not 0 < beta < 1:
+            raise ValueError("beta must be in (0, 1)")
+        if k < 4:
+            raise ValueError("k must be >= 4")
+        self.k = k
+        self.beta = beta
+        self.left_degree = left_degree
+        rng = rng or np.random.default_rng(0)
+
+        # Level sizes: level i maps n_i message symbols -> n_{i+1} checks.
+        sizes = [k]
+        for _ in range(levels):
+            nxt = max(1, int(round(sizes[-1] * beta)))
+            sizes.append(nxt)
+        self.sizes = sizes
+        # Per level: for each check symbol, the message symbols feeding it.
+        self.level_graphs: list[list[np.ndarray]] = []
+        for lvl in range(levels):
+            n_msg, n_chk = sizes[lvl], sizes[lvl + 1]
+            # Spread left_degree edges from each message symbol to random checks.
+            edges: list[list[int]] = [[] for _ in range(n_chk)]
+            for msg in range(n_msg):
+                for chk in rng.choice(n_chk, size=min(left_degree, n_chk), replace=False):
+                    edges[int(chk)].append(msg)
+            self.level_graphs.append([np.array(sorted(e), dtype=np.int64) for e in edges])
+
+        # MDS cap over the last level's check symbols (rate 1 - beta).
+        last = sizes[-1]
+        cap_n = min(256, max(last + 1, int(round(last / (1 - beta)))))
+        self.cap = ReedSolomonCode(last, cap_n)
+
+    @property
+    def n(self) -> int:
+        """Total code-word length: originals + all checks + cap parity."""
+        return self.k + sum(self.sizes[1:]) + (self.cap.n - self.cap.k)
+
+    @property
+    def rate(self) -> float:
+        return self.k / self.n
+
+    def encode(self, data_blocks: np.ndarray) -> np.ndarray:
+        """Return the full code word (originals, per-level checks, cap parity)."""
+        data_blocks = np.asarray(data_blocks, dtype=np.uint8)
+        if data_blocks.shape[0] != self.k:
+            raise ValueError(f"expected {self.k} blocks, got {data_blocks.shape[0]}")
+        pieces = [data_blocks]
+        current = data_blocks
+        for graph in self.level_graphs:
+            checks = np.empty((len(graph), data_blocks.shape[1]), dtype=np.uint8)
+            for j, nb in enumerate(graph):
+                checks[j] = xor_reduce(current, nb)
+            pieces.append(checks)
+            current = checks
+        cap_out = self.cap.encode(current)
+        pieces.append(cap_out[self.cap.k :])
+        return np.vstack(pieces)
+
+    def decode_erasures(
+        self, present: np.ndarray, blocks: np.ndarray
+    ) -> np.ndarray | None:
+        """Recover the originals given a presence mask over the code word.
+
+        Decodes back-to-front: first the MDS cap restores the last level,
+        then each bipartite level is peeled to restore its message symbols.
+        Returns ``None`` if recovery fails (too many erasures).
+        """
+        present = np.asarray(present, dtype=bool)
+        if present.size != self.n:
+            raise ValueError("presence mask must cover the whole code word")
+        blocks = np.asarray(blocks, dtype=np.uint8)
+        # Slice the code word into segments.
+        seg_bounds = np.cumsum([self.k] + self.sizes[1:] + [self.cap.n - self.cap.k])
+        segments = np.split(np.arange(self.n), seg_bounds[:-1])
+        values = [np.zeros((len(seg), blocks.shape[1]), dtype=np.uint8) for seg in segments]
+        known = [np.zeros(len(seg), dtype=bool) for seg in segments]
+        for seg_i, seg in enumerate(segments):
+            mask = present[seg]
+            values[seg_i][mask] = blocks[seg][mask]
+            known[seg_i][:] = mask
+
+        # 1. MDS cap restores the deepest check level if enough pieces exist.
+        last_i = len(self.sizes) - 1
+        cap_ids = np.concatenate(
+            [np.nonzero(known[last_i])[0], self.cap.k + np.nonzero(known[-1])[0]]
+        )
+        cap_vals = np.vstack([values[last_i][known[last_i]], values[-1][known[-1]]])
+        if cap_ids.size >= self.cap.k:
+            values[last_i] = self.cap.decode(cap_ids, cap_vals)
+            known[last_i][:] = True
+
+        # 2. Peel each level from deepest to shallowest.
+        for lvl in range(len(self.level_graphs) - 1, -1, -1):
+            graph = self.level_graphs[lvl]
+            msg_vals, msg_known = values[lvl], known[lvl]
+            chk_vals, chk_known = values[lvl + 1], known[lvl + 1]
+            progress = True
+            while progress and not msg_known.all():
+                progress = False
+                for j, nb in enumerate(graph):
+                    if not chk_known[j]:
+                        continue
+                    unknown = nb[~msg_known[nb]]
+                    if unknown.size == 1:
+                        target = int(unknown[0])
+                        acc = chk_vals[j].copy()
+                        for other in nb:
+                            if int(other) != target:
+                                np.bitwise_xor(acc, msg_vals[int(other)], out=acc)
+                        msg_vals[target] = acc
+                        msg_known[target] = True
+                        progress = True
+            if not msg_known.all():
+                return None
+        return values[0]

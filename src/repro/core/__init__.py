@@ -1,0 +1,47 @@
+"""The storage schemes and client-facing API (the paper's contribution).
+
+Four schemes, as compared in Chapter 6:
+
+* :class:`repro.core.raid0.Raid0Scheme` — plain striping, zero redundancy.
+* :class:`repro.core.rraid_s.RRaidSScheme` — rotated replication +
+  speculative access.
+* :class:`repro.core.rraid_a.RRaidAScheme` — rotated replication +
+  adaptive multi-round access.
+* :class:`repro.core.robustore.RobuStoreScheme` — LT-coded redundancy +
+  speculative access (the paper's contribution).
+
+:mod:`repro.core.api` wraps them in the open/read/write/close interface of
+§4.3.1.
+"""
+
+from repro.core.access import AccessResult
+from repro.core.raid0 import Raid0Scheme
+from repro.core.raid01 import Raid01Scheme
+from repro.core.raid5 import Raid5Scheme
+from repro.core.robustore import RobuStoreScheme
+from repro.core.robustore_rs import RobuStoreRSScheme
+from repro.core.rraid_a import RRaidAScheme
+from repro.core.rraid_s import RRaidSScheme
+
+#: The paper's four schemes plus the Fig 2-2 background baselines.
+SCHEMES = {
+    "raid0": Raid0Scheme,
+    "rraid-s": RRaidSScheme,
+    "rraid-a": RRaidAScheme,
+    "robustore": RobuStoreScheme,
+    "raid5": Raid5Scheme,
+    "raid0+1": Raid01Scheme,
+    "robustore-rs": RobuStoreRSScheme,
+}
+
+__all__ = [
+    "AccessResult",
+    "Raid0Scheme",
+    "Raid01Scheme",
+    "Raid5Scheme",
+    "RRaidAScheme",
+    "RRaidSScheme",
+    "RobuStoreRSScheme",
+    "RobuStoreScheme",
+    "SCHEMES",
+]

@@ -1,0 +1,351 @@
+"""Shared access machinery for all four storage schemes.
+
+Implements the speculative-access timeline of §4.1.2/§6.2.2:
+
+1. open: metadata access (constant 5 ms);
+2. one request message per disk (one-way link latency);
+3. each disk serves its stored blocks in order (filesystem-cache hits are
+   served by the filer immediately); background workloads interleave;
+4. block payloads travel back (one-way latency, plentiful bandwidth);
+5. the client consumes arrivals in order until the scheme's completion
+   tracker is satisfied (all blocks / replica coverage / LT decode);
+6. a cancel message (one-way latency) stops still-queued blocks; blocks
+   already served or in flight count toward the I/O-overhead metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Protocol
+
+import numpy as np
+
+from repro.cluster.metadata import MetadataServer
+from repro.cluster.server import Cluster
+from repro.disk.service import served_before
+
+MB = 1 << 20
+
+#: LT decode bandwidth used to charge the decode tail (§6.2.5: "we use
+#: [500 MBps] to compute decode times").
+DECODE_BANDWIDTH_BPS = 500e6
+
+
+@dataclass(frozen=True)
+class AccessConfig:
+    """Parameters of one storage access (the §6.2.5 baseline by default).
+
+    Attributes
+    ----------
+    data_bytes:
+        Original data size (1 GB baseline).
+    block_bytes:
+        Coding/striping block size (1 MB baseline).
+    n_disks:
+        Disks used by the access (64 baseline).
+    redundancy:
+        Degree of data redundancy D = N/K - 1 (3.0 baseline; RAID-0 always
+        runs at 0).
+    lt_c, lt_delta:
+        LT code parameters (C = 1.0, delta = 0.5 per §6.2.5).
+    """
+
+    data_bytes: int = 1024 * MB
+    block_bytes: int = 1 * MB
+    n_disks: int = 64
+    redundancy: float = 3.0
+    lt_c: float = 1.0
+    lt_delta: float = 0.5
+    #: Client NIC rate; ``inf`` is the paper's plentiful-lambda assumption.
+    #: Finite values model the Collins & Plank slow-shared-WAN regime
+    #: (§2.3): arrivals serialise through the client's access link.
+    client_bandwidth_bps: float = float("inf")
+
+    @property
+    def k(self) -> int:
+        """Number of original blocks."""
+        return max(1, self.data_bytes // self.block_bytes)
+
+    @property
+    def n_coded(self) -> int:
+        """Coded blocks at the configured redundancy."""
+        return max(self.k, int(round((1.0 + self.redundancy) * self.k)))
+
+    @property
+    def replicas(self) -> int:
+        """Copies per block for the replication schemes (D + 1)."""
+        return int(round(self.redundancy)) + 1
+
+
+@dataclass
+class AccessResult:
+    """Metrics of one access (§6.2.3)."""
+
+    latency_s: float
+    data_bytes: int
+    network_bytes: int
+    disk_blocks: int
+    blocks_received: int
+    cache_hits: int = 0
+    rounds: int = 1
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def bandwidth_bps(self) -> float:
+        """Delivered bandwidth: original data size / access latency."""
+        return self.data_bytes / self.latency_s if self.latency_s > 0 else 0.0
+
+    @property
+    def bandwidth_mbps(self) -> float:
+        return self.bandwidth_bps / MB
+
+    @property
+    def io_overhead(self) -> float:
+        """(bytes sent over networks - data size) / data size (§6.2.3)."""
+        return (self.network_bytes - self.data_bytes) / self.data_bytes
+
+
+@dataclass
+class DiskStream:
+    """One disk's contribution to an access."""
+
+    disk_id: int
+    block_ids: np.ndarray          # stored order
+    cached: np.ndarray             # mask aligned with block_ids
+    completions: np.ndarray        # disk completion time of uncached blocks
+    arrivals: np.ndarray           # client arrival time, aligned w/ block_ids
+    one_way_s: float
+
+
+class CompletionTracker(Protocol):
+    """Consumes block arrivals; reports when the access can finish."""
+
+    def add(self, block_id: int) -> None: ...
+
+    @property
+    def complete(self) -> bool: ...
+
+
+class AllBlocksTracker:
+    """RAID-0: every distinct block must arrive."""
+
+    def __init__(self, k: int) -> None:
+        self.k = k
+        self._have = np.zeros(k, dtype=bool)
+        self._count = 0
+
+    def add(self, block_id: int) -> None:
+        if not self._have[block_id]:
+            self._have[block_id] = True
+            self._count += 1
+
+    @property
+    def complete(self) -> bool:
+        return self._count >= self.k
+
+
+class CoverageTracker:
+    """RRAID: at least one replica of every original block (id = r*K + i)."""
+
+    def __init__(self, k: int) -> None:
+        self.k = k
+        self._have = np.zeros(k, dtype=bool)
+        self._count = 0
+
+    def add(self, block_id: int) -> None:
+        orig = block_id % self.k
+        if not self._have[orig]:
+            self._have[orig] = True
+            self._count += 1
+
+    @property
+    def complete(self) -> bool:
+        return self._count >= self.k
+
+
+class DecoderTracker:
+    """RobuSTore: the incremental LT peeling decoder."""
+
+    def __init__(self, decoder) -> None:
+        self.decoder = decoder
+
+    def add(self, block_id: int) -> None:
+        self.decoder.add(block_id)
+
+    @property
+    def complete(self) -> bool:
+        return self.decoder.is_complete
+
+
+def serve_read_queues(
+    cluster: Cluster,
+    disk_ids,
+    placement: list[list[int]],
+    block_bytes: int,
+    t_send: float,
+    rng_for,
+    file_name: str = "",
+) -> list[DiskStream]:
+    """Run every disk's stored queue; return per-disk streams.
+
+    ``rng_for(disk_id)`` supplies each disk's random stream.  Cached blocks
+    are served by the filer at request-arrival time; the rest queue at the
+    disk in stored order.
+    """
+    streams: list[DiskStream] = []
+    for idx, disk_id in enumerate(disk_ids):
+        disk_id = int(disk_id)
+        filer = cluster.filer_of_disk(disk_id)
+        blocks = np.asarray(placement[idx], dtype=np.int64)
+        one_way = filer.link.one_way_s
+        t_arrive = t_send + one_way
+        cached = filer.cached_blocks(file_name, blocks)
+        n_uncached = int(np.count_nonzero(~cached))
+        svc = cluster.block_service(disk_id, rng_for(disk_id))
+        completions = svc.serve(n_uncached, block_bytes, t_arrive)
+        arrivals = np.empty(blocks.size, dtype=np.float64)
+        arrivals[cached] = t_arrive + one_way
+        arrivals[~cached] = completions + one_way
+        streams.append(
+            DiskStream(disk_id, blocks, cached, completions, arrivals, one_way)
+        )
+    return streams
+
+
+def merged_arrival_order(
+    streams: list[DiskStream],
+    block_bytes: int = 0,
+    client_bandwidth_bps: float = float("inf"),
+) -> tuple[np.ndarray, np.ndarray]:
+    """All (arrival time, block id) pairs across disks, time-sorted.
+
+    With a finite client NIC rate, consecutive arrivals additionally
+    serialise through the access link: arrival i completes no earlier than
+    one block-transfer after arrival i-1 finished draining.
+    """
+    if not streams:
+        return np.empty(0), np.empty(0, dtype=np.int64)
+    times = np.concatenate([s.arrivals for s in streams])
+    ids = np.concatenate([s.block_ids for s in streams])
+    order = np.argsort(times, kind="stable")
+    times, ids = times[order], ids[order]
+    if np.isfinite(client_bandwidth_bps) and block_bytes > 0 and times.size:
+        xfer = block_bytes / client_bandwidth_bps
+        drained = np.empty_like(times)
+        prev = -np.inf
+        for i, t in enumerate(times):
+            prev = max(t, prev + xfer) if np.isfinite(t) else t
+            drained[i] = prev
+        times = drained
+    return times, ids
+
+
+def completion_time(
+    streams: list[DiskStream],
+    tracker: CompletionTracker,
+    block_bytes: int = 0,
+    client_bandwidth_bps: float = float("inf"),
+) -> tuple[float, int]:
+    """Feed arrivals to ``tracker``; return (finish time, blocks consumed).
+
+    Returns ``(inf, consumed)`` if the access can never complete with the
+    queued blocks (insufficient redundancy reached the disks).
+    """
+    t, consumed, _ = completion_with_order(
+        streams, tracker, block_bytes, client_bandwidth_bps
+    )
+    return t, consumed
+
+
+def completion_with_order(
+    streams: list[DiskStream],
+    tracker: CompletionTracker,
+    block_bytes: int = 0,
+    client_bandwidth_bps: float = float("inf"),
+) -> tuple[float, int, list[int]]:
+    """Like :func:`completion_time` but also returns the consumed block ids
+    in arrival order (the data-path API replays real decoding with them)."""
+    times, ids = merged_arrival_order(streams, block_bytes, client_bandwidth_bps)
+    for consumed, (t, bid) in enumerate(zip(times, ids), start=1):
+        tracker.add(int(bid))
+        if tracker.complete:
+            return float(t), consumed, [int(b) for b in ids[:consumed]]
+    return float("inf"), int(times.size), [int(b) for b in ids]
+
+
+def finalize_read(
+    streams: list[DiskStream],
+    cluster: Cluster,
+    t_done: float,
+    block_bytes: int,
+    file_name: str = "",
+) -> tuple[int, int, int]:
+    """Cancel outstanding work at ``t_done``; account transferred bytes.
+
+    Returns (network bytes, disk blocks read, filesystem-cache hits).
+    The cancel message reaches each disk one one-way latency after
+    ``t_done``; blocks completed or in flight by then were transferred.
+    """
+    network_bytes = 0
+    disk_blocks = 0
+    cache_hits = 0
+    for s in streams:
+        t_cancel = t_done + s.one_way_s
+        served = served_before(s.completions, t_cancel)
+        n_cached = int(np.count_nonzero(s.cached))
+        cache_hits += n_cached
+        disk_blocks += served
+        sent = served + n_cached
+        nbytes = sent * block_bytes
+        network_bytes += nbytes
+        filer = cluster.filer_of_disk(s.disk_id)
+        filer.link.account(nbytes)
+        # Blocks that came off the platters populate the filesystem cache.
+        uncached_ids = s.block_ids[~s.cached][:served]
+        filer.record_read(file_name, uncached_ids, block_bytes)
+        cached_ids = s.block_ids[s.cached]
+        filer.record_read(file_name, cached_ids, block_bytes)
+    return network_bytes, disk_blocks, cache_hits
+
+
+def simulate_uniform_write(
+    cluster: Cluster,
+    disk_ids,
+    placement: list[list[int]],
+    block_bytes: int,
+    t_send: float,
+    rng_for,
+    file_name: str = "",
+) -> tuple[float, int]:
+    """Write the same stored queues to every disk; wait for all commits.
+
+    RAID-0 / RRAID-S / RRAID-A writes are uniform: completion is gated by
+    the slowest disk (§6.3.1).  Returns (completion time at client, bytes
+    over the network).  Write-through populates the filesystem caches.
+    """
+    t_done = t_send
+    network_bytes = 0
+    for idx, disk_id in enumerate(disk_ids):
+        disk_id = int(disk_id)
+        filer = cluster.filer_of_disk(disk_id)
+        blocks = np.asarray(placement[idx], dtype=np.int64)
+        one_way = filer.link.one_way_s
+        svc = cluster.block_service(disk_id, rng_for(disk_id))
+        completions = svc.serve(blocks.size, block_bytes, t_send + one_way)
+        if blocks.size:
+            t_done = max(t_done, float(completions[-1]) + one_way)
+        nbytes = blocks.size * block_bytes
+        network_bytes += nbytes
+        filer.link.account(nbytes)
+        filer.record_write(file_name, blocks, block_bytes)
+    return t_done, network_bytes
+
+
+def decode_tail_s(block_bytes: int) -> float:
+    """Latency charged for decoding the final block (§6.2.5)."""
+    return block_bytes / DECODE_BANDWIDTH_BPS
+
+
+def open_latency_s(metadata: Optional[MetadataServer]) -> float:
+    """Metadata + connection setup cost at access start."""
+    return metadata.latency_s if metadata is not None else 0.005

@@ -1,0 +1,237 @@
+"""RobuSTore: LT-coded redundancy + speculative access (the contribution).
+
+Reads request every coded block from every selected disk in a single
+round, feed arrivals to the incremental peeling decoder, and cancel once
+decoding completes (§4.3.3).  Writes are speculative and rateless: every
+disk keeps committing coded blocks from its private id stream until the
+client has seen enough commits to (a) reach the target redundancy and
+(b) guarantee decodability of the committed set, then cancels (§4.3.2,
+§5.2.3 improvement 1).  Speculative writes leave an *unbalanced* placement
+— fast disks hold more blocks — which the read path replays faithfully.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coding.lt import ImprovedLTCode, LTGraph
+from repro.coding.peeling import PeelingDecoder
+from repro.core import layout as L
+from repro.core.access import (
+    AccessResult,
+    DecoderTracker,
+    completion_with_order,
+    decode_tail_s,
+    finalize_read,
+    serve_read_queues,
+)
+from repro.core.base import SchemeBase
+from repro.disk.service import served_before
+
+#: Distinct graphs rotated across trials, mimicking per-simulation graph
+#: regeneration at bounded cost.
+GRAPH_POOL_SIZE = 4
+
+_GRAPH_POOL: dict[tuple, list[LTGraph]] = {}
+
+
+def pooled_graph(
+    k: int,
+    n: int,
+    c: float,
+    delta: float,
+    trial: int,
+    pool_size: int = GRAPH_POOL_SIZE,
+    checked: bool = True,
+) -> LTGraph:
+    """An LT graph for (k, n), rotated by trial.
+
+    ``checked=True`` enforces the §5.2.3 decodability guarantee over the
+    full block set (what a balanced write stores).  Speculative writes use
+    ``checked=False`` — their much larger rateless margins would make the
+    full-set check needlessly expensive, and the writer gates completion
+    on the *committed* set decoding anyway.
+    """
+    key = (k, n, round(c, 6), round(delta, 6), checked)
+    graphs = _GRAPH_POOL.setdefault(key, [])
+    idx = trial % pool_size
+    while len(graphs) <= idx:
+        code = ImprovedLTCode(k, c=c, delta=delta)
+        rng = np.random.default_rng(abs(hash(key)) % (2**31) + len(graphs))
+        if checked:
+            graphs.append(code.build_graph(n, rng))
+        else:
+            graph = LTGraph(k)
+            code.extend_graph(graph, n, rng)
+            graphs.append(graph)
+    return graphs[idx]
+
+
+class RobuStoreScheme(SchemeBase):
+    """Erasure-coded redundancy with speculative reads and writes."""
+
+    name = "robustore"
+
+    #: Rateless supply multiplier for speculative writes: each disk can
+    #: commit up to this factor times its fair share N/H before running
+    #: dry.  Must cover the fastest-to-average disk speed ratio (~4-6x in
+    #: the calibrated pool) so fast disks never idle mid-write (§5.3.2).
+    WRITE_SUPPLY_FACTOR = 8
+
+    def _graph(self, trial: int, n: int | None = None) -> LTGraph:
+        cfg = self.config
+        return pooled_graph(
+            cfg.k, n if n is not None else cfg.n_coded, cfg.lt_c, cfg.lt_delta, trial
+        )
+
+    def _coding_descriptor(self) -> dict:
+        cfg = self.config
+        return {
+            "algorithm": "lt",
+            "k": cfg.k,
+            "n": cfg.n_coded,
+            "c": cfg.lt_c,
+            "delta": cfg.lt_delta,
+        }
+
+    # -- provisioning -------------------------------------------------------------
+    def prepare(self, file_name: str, trial: int):
+        cfg = self.config
+        disks = self.select_disks(trial)
+        graph = self._graph(trial)
+        placement = L.coded_balanced(cfg.n_coded, len(disks))
+        return self._register(
+            file_name,
+            disks,
+            placement,
+            coding=self._coding_descriptor(),
+            extra={"graph": graph},
+        )
+
+    # -- read -----------------------------------------------------------------------
+    def read(self, file_name: str, trial: int) -> AccessResult:
+        cfg = self.config
+        record = self._record(file_name)
+        graph: LTGraph = record.extra["graph"]
+        t0 = self.open_latency()
+        streams = serve_read_queues(
+            self.cluster,
+            record.disk_ids,
+            record.placement,
+            cfg.block_bytes,
+            t0,
+            self.service_rng_factory(trial, "read"),
+            file_name,
+        )
+        decoder = PeelingDecoder(graph)
+
+        t_finish, consumed, order = completion_with_order(
+            streams, DecoderTracker(decoder), cfg.block_bytes, cfg.client_bandwidth_bps
+        )
+        t_done = t_finish + decode_tail_s(cfg.block_bytes)
+        net, disk_blocks, hits = finalize_read(
+            streams, self.cluster, t_done, cfg.block_bytes, file_name
+        )
+        return AccessResult(
+            latency_s=t_done,
+            data_bytes=cfg.data_bytes,
+            network_bytes=net,
+            disk_blocks=disk_blocks,
+            blocks_received=consumed,
+            cache_hits=hits,
+            extra={
+                "reception_overhead": decoder.reception_overhead,
+                # The coded-block ids the client consumed, in arrival order
+                # — the data-path API replays real payload decoding with it.
+                "arrival_order": order,
+            },
+        )
+
+    # -- speculative write --------------------------------------------------------------
+    def write(self, file_name: str, trial: int) -> AccessResult:
+        cfg = self.config
+        disks = self.select_disks(trial)
+        h = len(disks)
+        target = cfg.n_coded
+        per_disk_cap = -(-target * self.WRITE_SUPPLY_FACTOR // h) + 8
+        graph = pooled_graph(
+            cfg.k,
+            per_disk_cap * h,
+            cfg.lt_c,
+            cfg.lt_delta,
+            trial,
+            checked=False,
+        )
+        rng_for = self.service_rng_factory(trial, "write")
+        t0 = self.open_latency()
+
+        # Each disk streams ids d, d+H, d+2H, ...; speculative writing keeps
+        # every disk busy until the client cancels.
+        completions: list[np.ndarray] = []
+        one_ways: list[float] = []
+        for idx, disk_id in enumerate(disks):
+            disk_id = int(disk_id)
+            filer = self.cluster.filer_of_disk(disk_id)
+            one_way = filer.link.one_way_s
+            svc = self.cluster.block_service(disk_id, rng_for(disk_id))
+            completions.append(svc.serve(per_disk_cap, cfg.block_bytes, t0 + one_way))
+            one_ways.append(one_way)
+
+        # Merge commit acks (commit + one-way back) in time order.
+        ack_times = np.concatenate(
+            [c + w for c, w in zip(completions, one_ways)]
+        )
+        ack_ids = np.concatenate(
+            [idx + h * np.arange(c.size) for idx, c in enumerate(completions)]
+        )
+        order = np.argsort(ack_times, kind="stable")
+        ack_times, ack_ids = ack_times[order], ack_ids[order]
+
+        # The writer stops once >= N blocks committed AND the committed set
+        # is decodable (the §5.2.3 writer-side guarantee).
+        decoder = PeelingDecoder(graph)
+        t_enough = None
+        for count, (t, bid) in enumerate(zip(ack_times, ack_ids), start=1):
+            decoder.add(int(bid))
+            if count >= target and decoder.is_complete:
+                t_enough = float(t)
+                break
+        if t_enough is None:
+            raise RuntimeError(
+                "speculative write exhausted its rateless supply; "
+                "increase WRITE_SUPPLY_FACTOR"
+            )
+
+        # Cancel: blocks committed (or in flight) when it reaches each disk
+        # are durable and define the unbalanced placement.
+        placement: list[list[int]] = []
+        net_bytes = 0
+        total_committed = 0
+        for idx, disk_id in enumerate(disks):
+            t_cancel = t_enough + one_ways[idx]
+            committed = served_before(completions[idx], t_cancel)
+            committed = min(committed, per_disk_cap)
+            ids = (idx + h * np.arange(committed)).tolist()
+            placement.append(ids)
+            total_committed += committed
+            nbytes = committed * cfg.block_bytes
+            net_bytes += nbytes
+            filer = self.cluster.filer_of_disk(int(disk_id))
+            filer.link.account(nbytes)
+            filer.record_write(file_name, ids, cfg.block_bytes)
+
+        self._register(
+            file_name,
+            disks,
+            placement,
+            coding=self._coding_descriptor(),
+            extra={"graph": graph, "speculative": True},
+        )
+        return AccessResult(
+            latency_s=t_enough + self.metadata.latency_s,
+            data_bytes=cfg.data_bytes,
+            network_bytes=net_bytes,
+            disk_blocks=total_committed,
+            blocks_received=total_committed,
+            extra={"target_blocks": target, "overshoot": total_committed - target},
+        )

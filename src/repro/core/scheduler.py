@@ -1,0 +1,61 @@
+"""Client-side access scheduler: disk selection (§5.3.1, §6.2.2).
+
+For each access the scheduler "randomly selects a certain number of disks
+and randomly permutes the disks into a random order".  The lightly-loaded
+strategy of §5.3.1 is also provided for the admission-control extension.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class AccessScheduler:
+    """Selects which disks an access uses.
+
+    Parameters
+    ----------
+    n_pool:
+        Size of the disk pool (128 in the baseline).
+    strategy:
+        ``random`` (the dissertation's experiments) or ``lightly-loaded``.
+    """
+
+    def __init__(self, n_pool: int, strategy: str = "random") -> None:
+        if n_pool < 1:
+            raise ValueError("pool must contain at least one disk")
+        if strategy not in ("random", "lightly-loaded"):
+            raise ValueError(f"unknown strategy {strategy!r}")
+        self.n_pool = n_pool
+        self.strategy = strategy
+        # Exponentially decayed outstanding-block estimate per disk.
+        self._load = np.zeros(n_pool, dtype=np.float64)
+
+    def select(self, n_disks: int, rng: np.random.Generator) -> np.ndarray:
+        """Pick ``n_disks`` distinct disks in random order."""
+        if not 1 <= n_disks <= self.n_pool:
+            raise ValueError(f"cannot select {n_disks} of {self.n_pool} disks")
+        if self.strategy == "random":
+            return rng.choice(self.n_pool, size=n_disks, replace=False)
+        # Lightly-loaded: pick the n least-loaded (ties broken randomly),
+        # then randomly permute.
+        noise = rng.random(self.n_pool) * 1e-9
+        order = np.argsort(self._load + noise)[:n_disks]
+        return rng.permutation(order)
+
+    def note_assignment(self, disk_ids, blocks_per_disk) -> None:
+        """Record outstanding work for the lightly-loaded strategy."""
+        for d, n in zip(disk_ids, np.atleast_1d(blocks_per_disk)):
+            self._load[int(d)] += float(n)
+
+    def note_completion(self, disk_ids, blocks_per_disk) -> None:
+        for d, n in zip(disk_ids, np.atleast_1d(blocks_per_disk)):
+            self._load[int(d)] = max(0.0, self._load[int(d)] - float(n))
+
+    def disks_to_saturate(
+        self, client_bandwidth_bps: float, avg_disk_bandwidth_bps: float
+    ) -> int:
+        """§5.3.1 rule: #disks >= client bandwidth / average disk bandwidth."""
+        if avg_disk_bandwidth_bps <= 0:
+            raise ValueError("average disk bandwidth must be positive")
+        return max(1, int(np.ceil(client_bandwidth_bps / avg_disk_bandwidth_bps)))

@@ -1,0 +1,40 @@
+"""DiskSim-like block-level hard-drive model (§2.1.1, §6.2.2 "Virtual Disk").
+
+The drive model captures the behaviours the dissertation's experiments
+depend on: zoned geometry with cylinder-dependent transfer rates, a seek
+curve, rotational latency, per-request controller overhead, track switches,
+an on-drive segment cache, pluggable request scheduling with cancellation,
+and competitive background workloads.
+
+Two complementary interfaces:
+
+* :class:`repro.disk.drive.DiskDrive` — an event-driven drive entity with a
+  request queue, used for calibration (Table 6-1) and component tests.
+* :class:`repro.disk.service.BlockService` — a vectorised per-access block
+  service model derived from the same mechanics, used by the storage-scheme
+  simulations (validated against the event-driven drive).
+"""
+
+from repro.disk.drive import DiskDrive, DiskRequest
+from repro.disk.geometry import DiskGeometry, Zone, default_geometry
+from repro.disk.mechanics import DiskMechanics, DriveSpec
+from repro.disk.scheduler import ElevatorQueue, FCFSQueue, SSTFQueue
+from repro.disk.service import BackgroundLoad, BlockService
+from repro.disk.workload import InDiskLayout, draw_layout
+
+__all__ = [
+    "BackgroundLoad",
+    "BlockService",
+    "DiskDrive",
+    "DiskGeometry",
+    "DiskMechanics",
+    "DiskRequest",
+    "DriveSpec",
+    "ElevatorQueue",
+    "FCFSQueue",
+    "InDiskLayout",
+    "SSTFQueue",
+    "Zone",
+    "default_geometry",
+    "draw_layout",
+]

@@ -1,0 +1,85 @@
+"""On-drive segment cache (the 2-16 MB "hard disk cache" of §2.1.1).
+
+Real drive controllers keep a handful of read segments and extend them by
+read-ahead; a request that falls entirely inside a cached segment is served
+at interface speed with no mechanical work.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.disk.geometry import SECTOR_BYTES
+
+
+class SegmentCache:
+    """An LRU cache of contiguous LBA segments.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Total cache size (default 8 MB).
+    segments:
+        Maximum number of concurrently tracked segments.
+    read_ahead_sectors:
+        Extra sectors speculatively appended after each fill.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int = 8 << 20,
+        segments: int = 16,
+        read_ahead_sectors: int = 64,
+    ) -> None:
+        if capacity_bytes <= 0 or segments <= 0:
+            raise ValueError("capacity and segment count must be positive")
+        self.capacity_sectors = capacity_bytes // SECTOR_BYTES
+        self.max_segments = segments
+        self.read_ahead_sectors = read_ahead_sectors
+        # start -> end (exclusive), in LRU order (oldest first).
+        self._segments: OrderedDict[int, int] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def used_sectors(self) -> int:
+        return sum(end - start for start, end in self._segments.items())
+
+    def lookup(self, lba: int, sectors: int) -> bool:
+        """True (and refresh LRU) if the request lies inside one segment."""
+        for start, end in self._segments.items():
+            if start <= lba and lba + sectors <= end:
+                self._segments.move_to_end(start)
+                self.hits += 1
+                return True
+        self.misses += 1
+        return False
+
+    def fill(self, lba: int, sectors: int) -> None:
+        """Record a completed media read (plus read-ahead) in the cache."""
+        start, end = lba, lba + sectors + self.read_ahead_sectors
+        # Merge with an adjacent/overlapping segment if one exists.
+        merged = None
+        for s, e in list(self._segments.items()):
+            if s <= end and start <= e:
+                merged = (min(s, start), max(e, end))
+                del self._segments[s]
+                break
+        if merged:
+            start, end = merged
+        self._segments[start] = end
+        self._segments.move_to_end(start)
+        self._evict()
+
+    def _evict(self) -> None:
+        while len(self._segments) > self.max_segments or (
+            self.used_sectors > self.capacity_sectors and len(self._segments) > 1
+        ):
+            self._segments.popitem(last=False)
+        # A single oversized segment is trimmed to capacity.
+        if self.used_sectors > self.capacity_sectors and len(self._segments) == 1:
+            (start, end), = self._segments.items()
+            self._segments[start] = start + self.capacity_sectors
+
+    def clear(self) -> None:
+        self._segments.clear()

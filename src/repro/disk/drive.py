@@ -1,0 +1,202 @@
+"""Event-driven disk drive entity (the simulator's "virtual disk").
+
+A :class:`DiskDrive` owns a request queue with a pluggable scheduling
+discipline, a segment cache, head state (current cylinder / last LBA), and a
+service process that charges controller overhead, seek, rotational latency,
+track switches and media transfer per request.  Cancellation removes pending
+requests from the queue (§5.3.3).  A background-workload process can inject
+competitive requests into the same queue (§6.2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.disk.cache import SegmentCache
+from repro.disk.geometry import SECTOR_BYTES
+from repro.disk.mechanics import DiskMechanics
+from repro.disk.scheduler import RequestQueue, make_queue
+from repro.disk.workload import BackgroundWorkload
+from repro.sim import Environment, Event
+
+_req_ids = count()
+
+#: Interface (bus) transfer rate for cache hits, bytes/s.
+BUS_RATE_BPS = 100e6
+
+
+@dataclass
+class DiskRequest:
+    """One physical request submitted to a drive.
+
+    Attributes
+    ----------
+    lba, sectors:
+        Target extent.
+    tag:
+        Opaque owner handle (used by cancellation predicates).
+    is_background:
+        True for competitive-workload requests.
+    done:
+        Fires with the completion time when served; with ``None`` when
+        cancelled.
+    """
+
+    lba: int
+    sectors: int
+    tag: Any = None
+    is_background: bool = False
+    done: Optional[Event] = None
+    req_id: int = field(default_factory=lambda: next(_req_ids))
+    cylinder: int = 0  # filled by the drive on submit (schedulers use it)
+
+    @property
+    def bytes(self) -> int:
+        return self.sectors * SECTOR_BYTES
+
+
+class DiskDrive:
+    """An event-driven hard-drive model.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    mechanics:
+        Mechanical model (shared geometry).
+    rng:
+        Random stream for seek distances / rotational phases.
+    scheduler:
+        Queue discipline name: ``fcfs``, ``sstf`` or ``elevator``.
+    cache:
+        Optional segment cache (pass ``None`` to disable).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        mechanics: DiskMechanics,
+        rng: np.random.Generator,
+        scheduler: str = "fcfs",
+        cache: SegmentCache | None = None,
+        service_time_fn: Optional[Callable[["DiskRequest"], float]] = None,
+    ) -> None:
+        self.env = env
+        self.mechanics = mechanics
+        self.rng = rng
+        self.queue: RequestQueue = make_queue(scheduler)
+        self.cache = cache
+        #: Optional override of the sector-level timing — e.g. the
+        #: reference engine substitutes the calibrated block-service model
+        #: so both engines draw from one distribution.
+        self.service_time_fn = service_time_fn
+        self.current_cylinder = 0
+        self._last_end_lba: Optional[int] = None
+        self._wakeup: Optional[Event] = None
+        self.busy = False
+        self.served_requests = 0
+        self.served_bytes = 0
+        self.busy_time = 0.0
+        env.process(self._run(), name="disk-drive")
+
+    # -- client interface ---------------------------------------------------
+    def submit(self, request: DiskRequest) -> DiskRequest:
+        """Queue a request; its ``done`` event fires on completion."""
+        if request.done is None:
+            request.done = self.env.event()
+        request.cylinder = int(self.mechanics.geometry.cylinder_of_lba(request.lba))
+        self.queue.push(request)
+        if self._wakeup is not None and not self._wakeup.triggered:
+            self._wakeup.succeed(None)
+        return request
+
+    def read(self, lba: int, sectors: int, tag: Any = None) -> DiskRequest:
+        """Convenience: submit a foreground read."""
+        return self.submit(DiskRequest(lba=lba, sectors=sectors, tag=tag))
+
+    def cancel(self, predicate: Callable[[DiskRequest], bool]) -> int:
+        """Remove queued requests matching ``predicate``; return the count.
+
+        The request currently being served is not interrupted (its bytes
+        are already in flight).
+        """
+        removed = self.queue.cancel(predicate)
+        for req in removed:
+            if req.done is not None and not req.done.triggered:
+                req.done.succeed(None)
+        return len(removed)
+
+    def utilization(self) -> float:
+        """Fraction of elapsed time spent serving requests."""
+        return self.busy_time / self.env.now if self.env.now > 0 else 0.0
+
+    # -- background workload --------------------------------------------------
+    def attach_background(self, workload: BackgroundWorkload) -> None:
+        """Start injecting the competitive request stream into this drive."""
+        if workload.enabled:
+            self.env.process(self._background_loop(workload), name="disk-bg")
+
+    def _background_loop(self, workload: BackgroundWorkload):
+        interval = workload.interval_s
+        yield self.env.timeout(workload.rng.random() * interval)
+        while True:
+            pattern = workload.next_request()
+            self.submit(
+                DiskRequest(
+                    lba=pattern.lba,
+                    sectors=pattern.sectors,
+                    is_background=True,
+                    tag="background",
+                )
+            )
+            yield self.env.timeout(interval)
+
+    # -- service loop ----------------------------------------------------------
+    def _run(self):
+        env = self.env
+        while True:
+            while not self.queue:
+                self._wakeup = env.event()
+                yield self._wakeup
+                self._wakeup = None
+            req = self.queue.pop(self.current_cylinder)
+            self.busy = True
+            service = self._service_time(req)
+            yield env.timeout(service)
+            self.busy = False
+            self.busy_time += service
+            self.served_requests += 1
+            self.served_bytes += req.bytes
+            if req.done is not None and not req.done.triggered:
+                req.done.succeed(env.now)
+
+    def _service_time(self, req: DiskRequest) -> float:
+        if self.service_time_fn is not None:
+            return self.service_time_fn(req)
+        mech = self.mechanics
+        spec = mech.spec
+        t = spec.controller_overhead_s
+
+        if self.cache is not None and self.cache.lookup(req.lba, req.sectors):
+            # Cache hit: interface-speed transfer, no mechanical work.
+            return t + req.bytes / BUS_RATE_BPS
+
+        sequential = self._last_end_lba is not None and req.lba == self._last_end_lba
+        if not sequential:
+            dist = abs(req.cylinder - self.current_cylinder)
+            t += float(mech.seek_time(dist))
+            t += float(mech.sample_rotational_latency(self.rng, 1)[0])
+        spt = int(mech.geometry.spt_of_lba(req.lba))
+        t += float(mech.transfer_time(req.sectors, spt))
+
+        self.current_cylinder = int(
+            mech.geometry.cylinder_of_lba(req.lba + req.sectors - 1)
+        )
+        self._last_end_lba = req.lba + req.sectors
+        if self.cache is not None:
+            self.cache.fill(req.lba, req.sectors)
+        return t

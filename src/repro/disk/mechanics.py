@@ -1,0 +1,147 @@
+"""Drive mechanics: seek curve, rotation, media transfer, overheads.
+
+All times are in **seconds**.  The default :class:`DriveSpec` is calibrated
+so that the synthetic-workload bandwidth grid approximates Table 6-1 of the
+dissertation (0.5 ... 53 MB/s across blocking factors 8..1024 and
+sequential-access probability 0/1, mean ~15 MB/s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.disk.geometry import SECTOR_BYTES, DiskGeometry, default_geometry
+
+
+@dataclass(frozen=True)
+class DriveSpec:
+    """Mechanical and controller parameters of a drive model.
+
+    Attributes
+    ----------
+    rpm:
+        Spindle speed.
+    seek_base_s, seek_sqrt_s, seek_linear_s:
+        Seek curve ``base + sqrt_coeff*sqrt(d) + linear_coeff*d`` for a
+        d-cylinder move (0 for d = 0) — the standard concave model of
+        Ruemmler & Wilkes.
+    head_switch_s:
+        Time to activate another head within a cylinder.
+    track_switch_s:
+        Time charged per track boundary crossed during a transfer.
+    controller_overhead_s:
+        Fixed command-processing cost per request.
+    locality_span_cylinders:
+        Span of the extent within which a file's random in-disk layout
+        scatters its sectors (random seeks are local to the allocation,
+        not full-stroke).
+    """
+
+    rpm: float = 7200.0
+    seek_base_s: float = 0.0006
+    seek_sqrt_s: float = 0.000050
+    seek_linear_s: float = 0.0000001
+    head_switch_s: float = 0.0008
+    track_switch_s: float = 0.0009
+    controller_overhead_s: float = 0.0010
+    locality_span_cylinders: int = 2000
+
+    @property
+    def rotation_period_s(self) -> float:
+        return 60.0 / self.rpm
+
+    @property
+    def avg_rotational_latency_s(self) -> float:
+        return 0.5 * self.rotation_period_s
+
+
+class DiskMechanics:
+    """Computes service-time components from a :class:`DriveSpec`.
+
+    Parameters
+    ----------
+    spec:
+        Drive parameters.
+    geometry:
+        Zoned geometry (defaults to :func:`default_geometry`).
+    """
+
+    def __init__(
+        self, spec: DriveSpec | None = None, geometry: DiskGeometry | None = None
+    ) -> None:
+        self.spec = spec or DriveSpec()
+        self.geometry = geometry or default_geometry()
+
+    # -- seek ------------------------------------------------------------
+    def seek_time(self, distance) -> np.ndarray:
+        """Seek time for cylinder distance(s); 0 for distance 0."""
+        d = np.asarray(distance, dtype=np.float64)
+        s = self.spec
+        t = s.seek_base_s + s.seek_sqrt_s * np.sqrt(d) + s.seek_linear_s * d
+        return np.where(d <= 0, 0.0, t)
+
+    def sample_local_seek(self, rng: np.random.Generator, n: int = 1) -> np.ndarray:
+        """Seek times for random moves within a file's local extent."""
+        d = rng.integers(1, self.spec.locality_span_cylinders + 1, size=n)
+        return self.seek_time(d)
+
+    def sample_rotational_latency(self, rng: np.random.Generator, n: int = 1) -> np.ndarray:
+        """Uniform(0, one revolution) rotational delays."""
+        return rng.random(n) * self.spec.rotation_period_s
+
+    def mean_positioning_time(self) -> float:
+        """Expected seek + rotational latency for a local random access."""
+        span = self.spec.locality_span_cylinders
+        d = np.arange(1, span + 1, dtype=np.float64)
+        return float(self.seek_time(d).mean() + self.spec.avg_rotational_latency_s)
+
+    # -- transfer ----------------------------------------------------------
+    def media_rate_bps(self, sectors_per_track) -> np.ndarray:
+        """Sustained media transfer rate (bytes/s) for given track formats."""
+        spt = np.asarray(sectors_per_track, dtype=np.float64)
+        return spt * SECTOR_BYTES / self.spec.rotation_period_s
+
+    def transfer_time(self, sectors, sectors_per_track) -> np.ndarray:
+        """Pure media transfer time for ``sectors`` at the given format,
+        including track-switch charges for crossed boundaries."""
+        sectors = np.asarray(sectors, dtype=np.float64)
+        spt = np.asarray(sectors_per_track, dtype=np.float64)
+        xfer = sectors * SECTOR_BYTES / self.media_rate_bps(spt)
+        switches = np.floor_divide(np.maximum(sectors - 1, 0), spt)
+        return xfer + switches * self.spec.track_switch_s
+
+    # -- whole requests -----------------------------------------------------
+    def request_time(
+        self,
+        sectors: int,
+        sectors_per_track: int,
+        positioned: bool,
+        rng: np.random.Generator,
+    ) -> float:
+        """Service time for one request.
+
+        ``positioned`` requests continue sequentially from the previous one
+        and pay no seek or rotational latency.
+        """
+        t = self.spec.controller_overhead_s
+        if not positioned:
+            t += float(self.sample_local_seek(rng, 1)[0])
+            t += float(self.sample_rotational_latency(rng, 1)[0])
+        t += float(self.transfer_time(sectors, sectors_per_track))
+        return t
+
+    def expected_bandwidth(
+        self, blocking_factor: int, p_sequential: float, sectors_per_track: int
+    ) -> float:
+        """Closed-form expected bandwidth (bytes/s) for a workload config.
+
+        Used to sanity-check calibration against Table 6-1.
+        """
+        s = self.spec
+        per_req = s.controller_overhead_s + float(
+            self.transfer_time(blocking_factor, sectors_per_track)
+        )
+        per_req += (1.0 - p_sequential) * self.mean_positioning_time()
+        return blocking_factor * SECTOR_BYTES / per_req

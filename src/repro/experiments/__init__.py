@@ -1,0 +1,64 @@
+"""Experiment registry: every table and figure of the evaluation.
+
+Run with ``python -m repro.experiments <id>`` (or ``repro-experiments``).
+Each entry is a zero-argument callable returning an object with a
+``.text()`` rendering.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+from repro.experiments import (
+    ablations,
+    extensions,
+    multiuser,
+    cache_experiments,
+    coding_experiments,
+    competitive_experiments,
+    disk_experiments,
+    layout_experiments,
+)
+
+REGISTRY = {
+    # Chapter 4/5 — coding
+    "fig4_1": coding_experiments.fig4_1,
+    "tab5_1": coding_experiments.tab5_1,
+    "fig5_1": coding_experiments.fig5_1,
+    "fig5_2": coding_experiments.fig5_2,
+    "fig5_3": coding_experiments.fig5_3,
+    # Chapter 6 — disk substrate
+    "tab6_1": disk_experiments.tab6_1,
+    "fig6_5": disk_experiments.fig6_5,
+    # Chapter 6 — layout variation (each id covers its figure triplet)
+    "fig6_06": layout_experiments.fig6_06,
+    "fig6_09": layout_experiments.fig6_09,
+    "fig6_12": layout_experiments.fig6_12,
+    "fig6_12b": partial(layout_experiments.fig6_12, data_mb=128),
+    "fig6_15": layout_experiments.fig6_15,
+    "fig6_18": layout_experiments.fig6_18,
+    "fig6_21": layout_experiments.fig6_21,
+    # Chapter 6 — competitive workloads
+    "fig6_24": competitive_experiments.fig6_24,
+    "fig6_26": competitive_experiments.fig6_26,
+    "fig6_29": competitive_experiments.fig6_29,
+    "fig6_32": competitive_experiments.fig6_32,
+    # Chapter 6 — filesystem caching
+    "fig6_35": cache_experiments.fig6_35,
+    # Ablations
+    "abl_cancel": ablations.abl_cancel,
+    "abl_improved_lt": ablations.abl_improved_lt,
+    "abl_admission": ablations.abl_admission,
+    "abl_code_choice": ablations.abl_code_choice,
+    # Extensions (§7.3 future work)
+    "ext_multiuser": multiuser.ext_multiuser,
+    "ext_update": extensions.ext_update,
+    "ext_parallel_coding": extensions.ext_parallel_coding,
+    "ext_qos_admission": extensions.ext_qos_admission,
+    "ext_failures": extensions.ext_failures,
+    "ext_baselines": extensions.ext_baselines,
+    "ext_wan_regime": extensions.ext_wan_regime,
+    "ext_repair": extensions.ext_repair,
+}
+
+__all__ = ["REGISTRY"]

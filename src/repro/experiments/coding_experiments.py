@@ -1,0 +1,279 @@
+"""Chapter 4/5 coding experiments: Fig 4-1, Table 5-1, Figs 5-1/5-2/5-3."""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.coding.analysis import (
+    erasure_coverage_curve,
+    median_blocks_needed,
+    replication_coverage_curve,
+)
+from repro.coding.lt import ImprovedLTCode
+from repro.coding.peeling import PeelingDecoder, blocks_needed
+from repro.coding.reed_solomon import ReedSolomonCode
+from repro.coding.xorblocks import random_blocks
+from repro.metrics.reporting import format_series, format_table
+
+MB = 1 << 20
+
+
+def _samples(default: int) -> int:
+    return int(os.environ.get("REPRO_CODING_SAMPLES", default))
+
+
+# ---------------------------------------------------------------- Fig 4-1
+
+
+@dataclass
+class Fig41Result:
+    ms: np.ndarray
+    replicated: np.ndarray
+    coded: np.ndarray
+    median_replicated: int
+    median_coded: int
+
+    def text(self) -> str:
+        series = {
+            "replicated": list(self.replicated),
+            "LT-coded": list(self.coded),
+        }
+        body = format_series(
+            "Fig 4-1: cumulative probability of reassembly (K=1024, 4x blocks)",
+            "M blocks",
+            [int(m) for m in self.ms],
+            series,
+            fmt="{:10.3f}",
+        )
+        return (
+            body
+            + f"\n\nmedian blocks needed: replicated={self.median_replicated}"
+            + f" (~{self.median_replicated / 1024:.2f}K), "
+            + f"coded={self.median_coded} (~{self.median_coded / 1024:.2f}K)"
+        )
+
+
+def fig4_1(k: int = 1024, expansion: int = 4, degree: int = 5, points: int = 13) -> Fig41Result:
+    """Appendix A curves: replication vs erasure coding reassembly."""
+    ms = np.linspace(k, expansion * k, points).astype(int)
+    repl = replication_coverage_curve(k, expansion, ms)
+    coded = erasure_coverage_curve(k, degree, ms)
+    fine = np.arange(k, expansion * k + 1, max(1, k // 32))
+    m_repl = median_blocks_needed(fine, replication_coverage_curve(k, expansion, fine))
+    m_coded = median_blocks_needed(fine, erasure_coverage_curve(k, degree, fine))
+    return Fig41Result(ms, repl, coded, m_repl, m_coded)
+
+
+# ---------------------------------------------------------------- Table 5-1
+
+
+@dataclass
+class Tab51Row:
+    k: int
+    n: int
+    encode_mbps: float
+    decode_mbps: float
+
+
+@dataclass
+class Tab51Result:
+    rows: list
+
+    def text(self) -> str:
+        return format_table(
+            "Table 5-1: Reed-Solomon coding bandwidth (rate 1/2)",
+            [
+                {
+                    "K": r.k,
+                    "N": r.n,
+                    "encode MB/s": round(r.encode_mbps, 1),
+                    "decode MB/s": round(r.decode_mbps, 1),
+                }
+                for r in self.rows
+            ],
+        )
+
+
+def tab5_1(data_mb: int = 16, ks=(4, 8, 16, 32), seed: int = 0) -> Tab51Result:
+    """RS encode/decode bandwidth vs word length K (N = 2K, fixed data)."""
+    rng = np.random.default_rng(seed)
+    rows = []
+    for k in ks:
+        n = 2 * k
+        block_len = (data_mb * MB) // k
+        block_len -= block_len % 8
+        code = ReedSolomonCode(k, n)
+        data = random_blocks(rng, k, block_len)
+
+        t0 = time.perf_counter()
+        coded = code.encode(data)
+        t_enc = time.perf_counter() - t0
+
+        ids = rng.choice(n, size=k, replace=False)
+        t0 = time.perf_counter()
+        out = code.decode(ids, coded[ids])
+        t_dec = time.perf_counter() - t0
+        assert np.array_equal(out, data)
+
+        total = k * block_len / MB
+        rows.append(Tab51Row(k, n, total / t_enc, total / t_dec))
+    return Tab51Result(rows)
+
+
+# ---------------------------------------------------------------- Fig 5-1 / 5-2
+
+
+@dataclass
+class LTGridResult:
+    title: str
+    ks: list
+    cs: list
+    deltas: list
+    mean: dict      # (k, c, delta) -> mean metric
+    rel_std: dict   # (k, c, delta) -> relative std
+
+    def text(self) -> str:
+        lines = [self.title, "-" * len(self.title)]
+        for k in self.ks:
+            lines.append(f"K = {k}")
+            header = "   C \\ delta | " + " | ".join(f"{d:>8}" for d in self.deltas)
+            lines.append(header)
+            for c in self.cs:
+                cells = []
+                for d in self.deltas:
+                    m = self.mean[(k, c, d)]
+                    s = self.rel_std[(k, c, d)]
+                    cells.append(f"{m:5.2f}±{s:4.2f}")
+                lines.append(f"{c:>12} | " + " | ".join(f"{x:>8}" for x in cells))
+        return "\n".join(lines)
+
+
+def fig5_1(
+    ks=(128, 512, 1024),
+    cs=(0.1, 0.3, 0.5, 1.0, 2.0),
+    deltas=(0.01, 0.1, 0.5),
+    samples: int | None = None,
+    seed: int = 0,
+) -> LTGridResult:
+    """Reception overhead of (improved) LT codes across C and delta."""
+    samples = samples if samples is not None else _samples(8)
+    mean, rel = {}, {}
+    for k in ks:
+        for c in cs:
+            for d in deltas:
+                code = ImprovedLTCode(k, c=c, delta=d)
+                overheads = []
+                for s in range(samples):
+                    rng = np.random.default_rng(seed + 1000 * s + k)
+                    graph = code.build_graph(4 * k, rng)
+                    used = blocks_needed(graph, rng.permutation(graph.n))
+                    overheads.append(used / k - 1.0)
+                arr = np.array(overheads)
+                mean[(k, c, d)] = float(arr.mean())
+                rel[(k, c, d)] = float(arr.std() / max(1e-9, 1 + arr.mean()))
+    return LTGridResult(
+        "Fig 5-1: LT reception overhead (mean ± relative std)", list(ks), list(cs), list(deltas), mean, rel
+    )
+
+
+def fig5_2(
+    k: int = 1024,
+    cs=(0.1, 0.3, 0.5, 1.0, 2.0),
+    deltas=(0.01, 0.1, 0.5),
+    samples: int | None = None,
+    seed: int = 0,
+) -> LTGridResult:
+    """Edges consumed during decoding (CPU-cost proxy), K = 1024."""
+    samples = samples if samples is not None else _samples(6)
+    mean, rel = {}, {}
+    for c in cs:
+        for d in deltas:
+            code = ImprovedLTCode(k, c=c, delta=d)
+            edges = []
+            for s in range(samples):
+                rng = np.random.default_rng(seed + 7000 * s)
+                graph = code.build_graph(4 * k, rng)
+                dec = PeelingDecoder(graph)
+                for cid in rng.permutation(graph.n):
+                    dec.add(int(cid))
+                    if dec.is_complete:
+                        break
+                edges.append(dec.edges_peeled / 1000.0)
+            arr = np.array(edges)
+            mean[(k, c, d)] = float(arr.mean())
+            rel[(k, c, d)] = float(arr.std() / max(1e-9, arr.mean()))
+    return LTGridResult(
+        "Fig 5-2: edges used in LT decoding (thousands), K=1024",
+        [k], list(cs), list(deltas), mean, rel,
+    )
+
+
+# ---------------------------------------------------------------- Fig 5-3
+
+
+@dataclass
+class Fig53Row:
+    c: float
+    delta: float
+    decode_mbps: float
+    reception_overhead: float
+
+
+@dataclass
+class Fig53Result:
+    rows: list
+
+    def text(self) -> str:
+        return format_table(
+            "Fig 5-3: LT decoding bandwidth and reception overhead (K=1024)",
+            [
+                {
+                    "C": r.c,
+                    "delta": r.delta,
+                    "decode MB/s": round(r.decode_mbps, 1),
+                    "reception ovh": round(r.reception_overhead, 3),
+                }
+                for r in self.rows
+            ],
+        )
+
+
+def fig5_3(
+    k: int = 1024,
+    block_kb: int = 64,
+    pairs=((0.5, 0.5), (1.0, 0.5), (1.0, 0.1), (2.0, 0.1), (2.0, 0.01)),
+    seed: int = 0,
+) -> Fig53Result:
+    """Real decoding bandwidth on this host across (C, delta).
+
+    The trade-off to reproduce: larger C / larger delta -> sparser decoding
+    graphs -> faster decoding but higher reception overhead.
+    """
+    rng = np.random.default_rng(seed)
+    block_len = block_kb << 10
+    rows = []
+    for c, d in pairs:
+        code = ImprovedLTCode(k, c=c, delta=d)
+        graph = code.build_graph(2 * k, rng)
+        data = random_blocks(rng, k, block_len)
+        coded = code.encode(data, graph)
+        order = rng.permutation(graph.n)
+
+        dec = PeelingDecoder(graph, block_len=block_len)
+        t0 = time.perf_counter()
+        used = 0
+        for cid in order:
+            dec.add(int(cid), coded[cid])
+            used += 1
+            if dec.is_complete:
+                break
+        elapsed = time.perf_counter() - t0
+        assert np.array_equal(dec.get_data(), data)
+        rows.append(
+            Fig53Row(c, d, k * block_len / MB / elapsed, used / k - 1.0)
+        )
+    return Fig53Result(rows)

@@ -1,0 +1,83 @@
+"""§6.3.2 experiments: variation from competitive background workloads."""
+
+from __future__ import annotations
+
+from repro.disk.workload import homogeneous_layout
+from repro.experiments import config as C
+from repro.experiments.harness import ExperimentResult, TrialPlan, sweep
+from repro.experiments.layout_experiments import REDUNDANCIES
+
+
+def fig6_24(
+    intervals_ms=(6, 10, 20, 40, 80, 200), seed: int = 0
+) -> ExperimentResult:
+    """Figs 6-24/6-25: homogeneous layout + homogeneous competitive load.
+
+    The one scenario where RobuSTore loses (by its reception overhead):
+    with no disk heterogeneity to tolerate, plain replication peaks higher.
+    """
+    return sweep(
+        "fig6_24",
+        "Read vs competitive workload interval (homogeneous everything)",
+        "bg interval (ms)",
+        list(intervals_ms),
+        lambda ms: TrialPlan(
+            access=C.baseline_access(),
+            mode="read",
+            layout=homogeneous_layout(512, 1.0),
+            fixed_zone=4,
+            background="homogeneous",
+            bg_interval_s=ms / 1000.0,
+            seed=seed,
+        ),
+    )
+
+
+def fig6_26(redundancies=REDUNDANCIES, seed: int = 0) -> ExperimentResult:
+    """Figs 6-26/6-27/6-28: read vs redundancy, heterogeneous bg load."""
+    return sweep(
+        "fig6_26",
+        "Read vs redundancy (heterogeneous competitive workloads)",
+        "redundancy D",
+        list(redundancies),
+        lambda d: TrialPlan(
+            access=C.baseline_access(redundancy=d),
+            mode="read",
+            background="heterogeneous",
+            seed=seed,
+        ),
+    )
+
+
+def fig6_29(redundancies=REDUNDANCIES, seed: int = 0) -> ExperimentResult:
+    """Figs 6-29/6-30/6-31: write vs redundancy, heterogeneous bg load."""
+    return sweep(
+        "fig6_29",
+        "Write vs redundancy (heterogeneous competitive workloads)",
+        "redundancy D",
+        list(redundancies),
+        lambda d: TrialPlan(
+            access=C.baseline_access(redundancy=d),
+            mode="write",
+            background="heterogeneous",
+            seed=seed,
+        ),
+    )
+
+
+def fig6_32(
+    redundancies=(0.5, 1.0, 2.0, 3.0, 5.0, 7.0), seed: int = 0
+) -> ExperimentResult:
+    """Figs 6-32/6-33/6-34: read-after-write under heterogeneous bg load."""
+    return sweep(
+        "fig6_32",
+        "Read after speculative write vs redundancy (heterogeneous bg)",
+        "redundancy D",
+        list(redundancies),
+        lambda d: TrialPlan(
+            access=C.baseline_access(redundancy=d),
+            mode="raw",
+            background="heterogeneous",
+            seed=seed,
+        ),
+    )

@@ -1,0 +1,79 @@
+"""Disk-level experiments: Table 6-1 and Fig 6-5."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.disk.calibration import format_table, grid_statistics, table_6_1
+from repro.disk.mechanics import DiskMechanics
+from repro.disk.service import BackgroundLoad, BlockService
+from repro.disk.workload import InDiskLayout
+from repro.metrics.reporting import format_series
+
+MB = 1 << 20
+
+
+@dataclass
+class Tab61Result:
+    cells: list
+    stats: dict
+
+    def text(self) -> str:
+        return (
+            format_table(self.cells)
+            + "\n\n"
+            + f"mean={self.stats['mean_mbps']:.1f} MB/s, "
+            + f"min={self.stats['min_mbps']:.2f}, max={self.stats['max_mbps']:.1f}, "
+            + f"spread={self.stats['spread']:.0f}x  (paper: mean 14.9, 0.52..53, ~100x)"
+        )
+
+
+def tab6_1(total_mb: int = 64, seed: int = 0) -> Tab61Result:
+    """Regenerate the Table 6-1 bandwidth grid from the drive model."""
+    cells = table_6_1(rng=np.random.default_rng(seed), total_mb=total_mb)
+    return Tab61Result(cells, grid_statistics(cells))
+
+
+@dataclass
+class Fig65Result:
+    intervals_ms: list
+    fg_bandwidth_mbps: list
+    bg_utilization: list
+
+    def text(self) -> str:
+        return format_series(
+            "Fig 6-5: background workload impact on foreground bandwidth",
+            "interval (ms)",
+            self.intervals_ms,
+            {
+                "fg bw (MB/s)": self.fg_bandwidth_mbps,
+                "bg utilization": self.bg_utilization,
+            },
+        )
+
+
+def fig6_5(
+    intervals_ms=(6, 10, 20, 40, 80, 120, 200),
+    layout: InDiskLayout | None = None,
+    n_blocks: int = 64,
+    trials: int = 10,
+    seed: int = 0,
+) -> Fig65Result:
+    """Foreground disk bandwidth vs background request interval (§6.2.5)."""
+    mech = DiskMechanics()
+    layout = layout or InDiskLayout(512, 1.0)
+    spt = mech.geometry.zones[2].sectors_per_track
+    bws, utils = [], []
+    for ms in intervals_ms:
+        bg = BackgroundLoad(interval_s=ms / 1000.0)
+        per_trial = []
+        for t in range(trials):
+            rng = np.random.default_rng(seed + 31 * t)
+            svc = BlockService(mech, layout, spt, rng, background=bg)
+            completions = svc.serve(n_blocks, 1 * MB, 0.0)
+            per_trial.append(n_blocks * 1.0 / float(completions[-1]))
+        bws.append(float(np.mean(per_trial)))
+        utils.append(round(bg.utilization(mech, spt), 3))
+    return Fig65Result(list(intervals_ms), [round(b, 2) for b in bws], utils)

@@ -1,0 +1,197 @@
+"""Trial runner: one (scheme, configuration) point -> MetricSummary.
+
+Each trial redraws the per-disk random state (in-disk layout, zone,
+competitive load — §6.2.5's sources of variation), randomly selects the
+access's disks, and runs the scheme's read and/or write procedure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.server import Cluster
+from repro.core import SCHEMES
+from repro.core.access import AccessConfig, AccessResult
+from repro.disk.workload import InDiskLayout
+from repro.experiments import config as C
+from repro.metrics.stats import MetricSummary, summarize
+from repro.sim.rng import RngHub
+
+
+@dataclass(frozen=True)
+class TrialPlan:
+    """One experiment point.
+
+    Attributes
+    ----------
+    access:
+        Access parameters (data size, block size, #disks, redundancy).
+    mode:
+        ``read`` — fresh balanced read; ``write`` — a write access;
+        ``raw`` — write, redraw disk performance, then read the resulting
+        (unbalanced, for RobuSTore) placement.
+    layout:
+        ``None`` = heterogeneous per-disk draws; otherwise every disk uses
+        this in-disk layout (homogeneous environment).
+    fixed_zone:
+        Pin all data to one zone (homogeneous media rate).
+    background:
+        ``none``; ``homogeneous`` (every disk loaded at ``bg_interval_s``);
+        ``heterogeneous`` (per-disk interval drawn from
+        ``BG_INTERVAL_RANGE_S`` each trial, §6.3.2).
+    """
+
+    access: AccessConfig
+    mode: str = "read"
+    pool: int = C.POOL_DISKS
+    rtt_s: float = C.BASELINE_RTT_S
+    fs_cache_bytes: int = 0
+    layout: Optional[InDiskLayout] = None
+    fixed_zone: Optional[int] = None
+    background: str = "none"
+    bg_interval_s: float = 0.05
+    trials: int = field(default_factory=C.trials)
+    seed: int = 0
+    #: Simulated gap between a write and its later read (``raw`` mode):
+    #: competing traffic during the gap ages the filesystem caches, so
+    #: re-reads get partial (not total) hit rates — and trial-to-trial
+    #: hit-rate spread, the extra latency variation of Fig 6-36.
+    cache_aging_window_s: float = 1000.0
+    #: Disks (drawn randomly per trial) that fail and never respond.
+    failed_disks: int = 0
+
+    def bg_intervals(self, rng: np.random.Generator) -> Optional[dict[int, float]]:
+        if self.background == "none":
+            return None
+        if self.background == "homogeneous":
+            return {d: self.bg_interval_s for d in range(self.pool)}
+        if self.background == "heterogeneous":
+            lo, hi = C.BG_INTERVAL_RANGE_S
+            return {d: float(rng.uniform(lo, hi)) for d in range(self.pool)}
+        raise ValueError(f"unknown background mode {self.background!r}")
+
+
+def run_scheme(plan: TrialPlan, scheme_name: str) -> list[AccessResult]:
+    """Run all trials of one scheme under ``plan``."""
+    if scheme_name not in SCHEMES:
+        raise ValueError(f"unknown scheme {scheme_name!r}")
+    access = plan.access
+    if scheme_name == "raid0":
+        access = replace(access, redundancy=0.0)
+    hub = RngHub(plan.seed)
+    cluster = Cluster(
+        n_disks=plan.pool,
+        disks_per_filer=C.DISKS_PER_FILER,
+        rtt_s=plan.rtt_s,
+        fs_cache_bytes=plan.fs_cache_bytes,
+        cache_line_bytes=access.block_bytes,
+    )
+    scheme = SCHEMES[scheme_name](cluster, access, hub=hub)
+    results: list[AccessResult] = []
+    for trial in range(plan.trials):
+        env_rng = hub.fresh("env", scheme_name, trial)
+        failed = (
+            set(map(int, env_rng.choice(plan.pool, plan.failed_disks, replace=False)))
+            if plan.failed_disks
+            else None
+        )
+        cluster.redraw_disk_states(
+            env_rng,
+            layout=plan.layout,
+            background_intervals=plan.bg_intervals(env_rng),
+            fixed_zone=plan.fixed_zone,
+            failed_disks=failed,
+        )
+        name = f"f-{scheme_name}-{trial}"
+        if plan.mode == "read":
+            scheme.prepare(name, trial)
+            results.append(scheme.read(name, trial))
+        elif plan.mode == "write":
+            results.append(scheme.write(name, trial))
+        elif plan.mode == "raw":
+            scheme.write(name, trial)
+            env_rng2 = hub.fresh("env2", scheme_name, trial)
+            cluster.redraw_disk_states(
+                env_rng2,
+                layout=plan.layout,
+                background_intervals=plan.bg_intervals(env_rng2),
+                fixed_zone=plan.fixed_zone,
+            )
+            # Competing traffic between the write and the later read ages
+            # the shared filesystem caches (§6.3.3).
+            cluster.age_caches(plan.cache_aging_window_s)
+            results.append(scheme.read(name, trial))
+        else:
+            raise ValueError(f"unknown mode {plan.mode!r}")
+    return results
+
+
+def run_point(
+    plan: TrialPlan, schemes: Sequence[str] = C.ALL_SCHEMES
+) -> dict[str, MetricSummary]:
+    """Run every scheme at one configuration point."""
+    return {name: summarize(run_scheme(plan, name)) for name in schemes}
+
+
+@dataclass
+class ExperimentResult:
+    """A complete figure/table reproduction: series over a swept variable."""
+
+    experiment_id: str
+    title: str
+    x_label: str
+    xs: list
+    summaries: Mapping[str, list[MetricSummary]]
+
+    def series(self, metric: str) -> dict[str, list[float]]:
+        return {
+            name: [getattr(s, metric) for s in col]
+            for name, col in self.summaries.items()
+        }
+
+    def text(self, bars: bool = True) -> str:
+        from repro.metrics.reporting import format_bars, format_series
+
+        blocks = []
+        for metric, label in (
+            ("bandwidth_mbps", "bandwidth (MB/s)"),
+            ("latency_std_s", "latency std dev (s)"),
+            ("io_overhead", "I/O overhead"),
+        ):
+            blocks.append(
+                format_series(
+                    f"{self.title} — {label}",
+                    self.x_label,
+                    self.xs,
+                    self.series(metric),
+                )
+            )
+        if bars:
+            blocks.append(
+                format_bars(
+                    f"{self.title} — bandwidth profile",
+                    self.series("bandwidth_mbps"),
+                    self.xs,
+                )
+            )
+        return "\n\n".join(blocks)
+
+
+def sweep(
+    experiment_id: str,
+    title: str,
+    x_label: str,
+    xs: Sequence,
+    plan_for,
+    schemes: Sequence[str] = C.ALL_SCHEMES,
+) -> ExperimentResult:
+    """Run ``plan_for(x)`` for every x; collect per-scheme series."""
+    summaries: dict[str, list[MetricSummary]] = {name: [] for name in schemes}
+    for x in xs:
+        point = run_point(plan_for(x), schemes)
+        for name in schemes:
+            summaries[name].append(point[name])
+    return ExperimentResult(experiment_id, title, x_label, list(xs), summaries)

@@ -1,0 +1,85 @@
+"""Extension: multi-user workload evaluation (§7.3 future work).
+
+The dissertation models competing users only as synthetic background
+streams and leaves "a more accurate model of multi-user workloads" to
+future work.  This experiment runs it: N concurrent clients issue the
+same-shaped access over the *same* drives in the event-driven reference
+engine, so contention emerges from the shared per-drive queues instead of
+an open-loop arrival model.
+
+Reported per client count: mean per-client latency, per-client bandwidth,
+and aggregate delivered throughput — for RobuSTore and RAID-0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.server import Cluster
+from repro.core import SCHEMES
+from repro.core.access import MB, AccessConfig
+from repro.core.reference import reference_read
+from repro.metrics.reporting import format_table
+from repro.sim.rng import RngHub
+
+
+@dataclass
+class MultiUserResult:
+    rows: list
+
+    def text(self) -> str:
+        return format_table(
+            "Extension: concurrent clients sharing one disk pool "
+            "(event-driven engine)",
+            self.rows,
+        )
+
+
+def ext_multiuser(
+    client_counts=(1, 2, 4, 8),
+    data_mb: int = 64,
+    n_disks: int = 16,
+    pool: int = 16,
+    trials: int = 3,
+    seed: int = 0,
+) -> MultiUserResult:
+    """Per-client and aggregate performance vs concurrent client count."""
+    cfg = AccessConfig(
+        data_bytes=data_mb * MB, block_bytes=1 * MB, n_disks=n_disks, redundancy=3.0
+    )
+    rows = []
+    for scheme_name in ("raid0", "robustore"):
+        for n in client_counts:
+            lats = []
+            for trial in range(trials):
+                cluster = Cluster(n_disks=pool, rtt_s=0.001)
+                hub = RngHub(seed + trial)
+                scheme = SCHEMES[scheme_name](cluster, cfg, hub=hub)
+                cluster.redraw_disk_states(hub.fresh("env", trial))
+                record = scheme.prepare("f", trial)
+                ref = reference_read(
+                    cluster,
+                    record.disk_ids,
+                    record.placement,
+                    cfg.block_bytes,
+                    scheme_name,
+                    lambda d: hub.fresh("svc", trial, d),
+                    k=cfg.k,
+                    graph=record.extra.get("graph"),
+                    n_clients=n,
+                )
+                lats.extend(ref.per_client.values())
+            lat = float(np.mean(lats))
+            per_client_bw = data_mb / lat
+            rows.append(
+                {
+                    "scheme": scheme_name,
+                    "clients": n,
+                    "lat_s": round(lat, 2),
+                    "per_client_MBps": round(per_client_bw, 1),
+                    "aggregate_MBps": round(per_client_bw * n, 1),
+                }
+            )
+    return MultiUserResult(rows)

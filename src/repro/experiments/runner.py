@@ -1,0 +1,87 @@
+"""Command-line entry point for the experiment harness.
+
+Usage::
+
+    python -m repro.experiments fig6_06          # one experiment
+    python -m repro.experiments all              # everything
+    python -m repro.experiments --list
+
+``REPRO_TRIALS`` / ``REPRO_DATA_MB`` scale run size (paper scale:
+``REPRO_TRIALS=100 REPRO_DATA_MB=1024``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import REGISTRY
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the RobuSTore evaluation tables and figures.",
+    )
+    parser.add_argument("ids", nargs="*", help="experiment ids (or 'all')")
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        help="also write each sweep experiment's series as CSV into DIR",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list or not args.ids:
+        for name in REGISTRY:
+            print(name)
+        return 0
+
+    ids = list(REGISTRY) if args.ids == ["all"] else args.ids
+    unknown = [i for i in ids if i not in REGISTRY]
+    if unknown:
+        print(f"unknown experiment ids: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    for exp_id in ids:
+        t0 = time.perf_counter()
+        result = REGISTRY[exp_id]()
+        elapsed = time.perf_counter() - t0
+        print(f"\n=== {exp_id} ({elapsed:.1f}s) " + "=" * 40)
+        print(result.text())
+        if args.csv:
+            path = write_csv(result, exp_id, args.csv)
+            if path:
+                print(f"[csv] {path}")
+    return 0
+
+
+def write_csv(result, exp_id: str, directory: str) -> str | None:
+    """Write an ExperimentResult's three metric series as one CSV file.
+
+    Non-sweep results (plain tables) are skipped; returns the file path or
+    ``None``.
+    """
+    import csv
+    import os
+
+    if not hasattr(result, "series") or not hasattr(result, "xs"):
+        return None
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{exp_id}.csv")
+    metrics = ("bandwidth_mbps", "latency_mean_s", "latency_std_s", "io_overhead")
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["scheme", "x"] + list(metrics))
+        series = {m: result.series(m) for m in metrics}
+        for scheme in series[metrics[0]]:
+            for i, x in enumerate(result.xs):
+                writer.writerow(
+                    [scheme, x] + [series[m][scheme][i] for m in metrics]
+                )
+    return path
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

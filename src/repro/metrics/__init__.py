@@ -1,0 +1,6 @@
+"""Metrics (§6.2.3): access bandwidth, latency variation, I/O overhead."""
+
+from repro.metrics.stats import MetricSummary, summarize
+from repro.metrics.reporting import format_series, format_table
+
+__all__ = ["MetricSummary", "format_series", "format_table", "summarize"]

@@ -1,0 +1,81 @@
+"""Aggregation of per-access results into the paper's three metrics.
+
+§6.2.3: *variation of access latency* (standard deviation over the trial
+set), *access bandwidth* (data size / latency, averaged) and *I/O overhead*
+((network bytes - data bytes) / data bytes, averaged).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.access import MB, AccessResult
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Aggregate metrics over a set of access trials."""
+
+    n_trials: int
+    bandwidth_mbps: float
+    bandwidth_std_mbps: float
+    latency_mean_s: float
+    latency_std_s: float
+    io_overhead: float
+    reception_overhead: float | None = None
+
+    @property
+    def latency_cv(self) -> float:
+        """Coefficient of variation: std / mean latency."""
+        return self.latency_std_s / self.latency_mean_s if self.latency_mean_s else 0.0
+
+    def row(self) -> dict:
+        out = {
+            "trials": self.n_trials,
+            "bw_mbps": round(self.bandwidth_mbps, 2),
+            "lat_s": round(self.latency_mean_s, 3),
+            "lat_std_s": round(self.latency_std_s, 3),
+            "io_overhead": round(self.io_overhead, 3),
+        }
+        if self.reception_overhead is not None:
+            out["reception_overhead"] = round(self.reception_overhead, 3)
+        return out
+
+
+def summarize(results: list[AccessResult]) -> MetricSummary:
+    """Reduce access trials to the paper's metrics.
+
+    Accesses that never completed (infinite latency — e.g. insufficient
+    redundancy) are excluded from latency/bandwidth means but still noted
+    via the trial count.
+    """
+    if not results:
+        raise ValueError("no results to summarise")
+    lat = np.array([r.latency_s for r in results])
+    finite = np.isfinite(lat)
+    if not finite.any():
+        return MetricSummary(
+            n_trials=len(results),
+            bandwidth_mbps=0.0,
+            bandwidth_std_mbps=0.0,
+            latency_mean_s=float("inf"),
+            latency_std_s=float("inf"),
+            io_overhead=float("nan"),
+        )
+    ok = [r for r, f in zip(results, finite) if f]
+    bw = np.array([r.bandwidth_bps for r in ok]) / MB
+    lat_ok = lat[finite]
+    io = np.array([r.io_overhead for r in ok])
+    rec = [r.extra.get("reception_overhead") for r in ok]
+    rec_vals = [x for x in rec if x is not None]
+    return MetricSummary(
+        n_trials=len(results),
+        bandwidth_mbps=float(bw.mean()),
+        bandwidth_std_mbps=float(bw.std()),
+        latency_mean_s=float(lat_ok.mean()),
+        latency_std_s=float(lat_ok.std()),
+        io_overhead=float(io.mean()),
+        reception_overhead=float(np.mean(rec_vals)) if rec_vals else None,
+    )

@@ -1,0 +1,5 @@
+"""Network model: fixed-RTT links with plentiful bandwidth (§6.2.2)."""
+
+from repro.net.link import Link, NetworkModel
+
+__all__ = ["Link", "NetworkModel"]

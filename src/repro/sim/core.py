@@ -1,0 +1,164 @@
+"""Simulation environment: the event loop and virtual clock."""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Generator, Optional
+
+from repro.sim.events import PENDING, AllOf, AnyOf, Event, Process, Timeout
+
+# Scheduling priorities: URGENT events (process initialisation, interrupts)
+# run before NORMAL events scheduled at the same instant.
+URGENT = 0
+NORMAL = 1
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation reaches an inconsistent state."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`repro.sim.events.Process.interrupt`."""
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0]
+
+
+class StopSimulation(Exception):
+    """Internal: raised to end :meth:`Environment.run` at an *until* event."""
+
+
+class EmptySchedule(Exception):
+    """Internal: raised when the event queue runs dry."""
+
+
+class Environment:
+    """A discrete-event simulation environment.
+
+    Maintains the virtual clock and the pending-event heap.  All entities of
+    the RobuSTore simulator (clients, filers, drives, workload generators)
+    share one environment.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the virtual clock (seconds by convention).
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = count()
+        self._active_proc: Optional[Process] = None
+
+    # -- clock -----------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_proc
+
+    # -- event factories ---------------------------------------------------
+    def event(self) -> Event:
+        """Create a new pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str | None = None) -> Process:
+        """Register ``generator`` as a new simulation process."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events) -> Event:
+        return AllOf(self, events)
+
+    def any_of(self, events) -> Event:
+        return AnyOf(self, events)
+
+    # -- scheduling --------------------------------------------------------
+    def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        """Queue a triggered ``event`` to be processed ``delay`` from now."""
+        heapq.heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none remain."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next scheduled event.
+
+        Raises
+        ------
+        EmptySchedule
+            If no events remain.
+        """
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:
+            raise SimulationError(f"{event!r} was scheduled twice")
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            # An unhandled failure propagates out of the simulation.
+            if isinstance(event._value, BaseException):
+                raise event._value
+            raise SimulationError(f"event failed with non-exception {event._value!r}")
+
+    def run(self, until: Event | float | int | None = None) -> Any:
+        """Run until the queue is empty, a time is reached, or an event fires.
+
+        Parameters
+        ----------
+        until:
+            ``None`` — run to exhaustion; a number — run until the clock
+            reaches that time; an :class:`Event` — run until it fires and
+            return its value.
+        """
+        until_event: Optional[Event] = None
+        if until is not None:
+            if isinstance(until, Event):
+                until_event = until
+                if until_event.callbacks is None:  # already processed
+                    return until_event._value
+                until_event.callbacks.append(_stop_simulate)
+            else:
+                at = float(until)
+                if at < self._now:
+                    raise ValueError(f"until ({at}) must not be before now ({self._now})")
+                until_event = Event(self)
+                until_event._ok = True
+                until_event._value = None
+                # Urgent so that events *at* the stop time do not run.
+                heapq.heappush(self._queue, (at, URGENT, next(self._eid), until_event))
+                until_event.callbacks.append(_stop_simulate)
+
+        try:
+            while True:
+                self.step()
+        except StopSimulation:
+            assert until_event is not None
+            if not until_event._ok and isinstance(until_event._value, BaseException):
+                raise until_event._value
+            return until_event._value
+        except EmptySchedule:
+            if until_event is not None and until_event._value is PENDING:
+                raise SimulationError(
+                    "ran out of events before the 'until' event fired"
+                ) from None
+            return None
+
+
+def _stop_simulate(event: Event) -> None:
+    raise StopSimulation()

@@ -1,0 +1,76 @@
+"""Wall-clock-paced simulation (§6.2.2).
+
+The dissertation's virtual disks carry "a timer to help keep
+synchronization with other simulation processes ... If the real clock is
+slower, the timer stops the simulation for a certain time before
+dismissing the new event and resuming the simulation."
+:class:`ThrottledEnvironment` provides that pacing for the whole kernel:
+virtual time advances no faster than ``speedup`` times the wall clock, so
+a simulation can be co-run with real external components (or simply
+watched live).  ``speedup=inf`` degenerates to the normal as-fast-as-
+possible environment.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.sim.core import Environment
+
+
+class ThrottledEnvironment(Environment):
+    """An environment whose clock is paced against real time.
+
+    Parameters
+    ----------
+    speedup:
+        Virtual seconds allowed per wall-clock second.  ``1.0`` is
+        real-time; ``10.0`` runs ten times faster than reality; ``inf``
+        disables pacing.
+    max_sleep_s:
+        Upper bound on any single pacing sleep (keeps the loop responsive
+        to very long virtual gaps).
+    """
+
+    def __init__(
+        self,
+        initial_time: float = 0.0,
+        speedup: float = 1.0,
+        max_sleep_s: float = 0.25,
+        sleep=time.sleep,
+        clock=time.perf_counter,
+    ) -> None:
+        if speedup <= 0:
+            raise ValueError("speedup must be positive")
+        super().__init__(initial_time)
+        self.speedup = speedup
+        self.max_sleep_s = max_sleep_s
+        self._sleep = sleep
+        self._clock = clock
+        self._wall_start: float | None = None
+        self._sim_start = initial_time
+        self.total_slept_s = 0.0
+
+    def step(self) -> None:
+        if self.speedup != float("inf") and self._queue:
+            if self._wall_start is None:
+                self._wall_start = self._clock()
+            next_t = self.peek()
+            # Wall time at which the next event is *due*.
+            due = self._wall_start + (next_t - self._sim_start) / self.speedup
+            while True:
+                lag = due - self._clock()
+                if lag <= 0:
+                    break
+                chunk = min(lag, self.max_sleep_s)
+                self._sleep(chunk)
+                self.total_slept_s += chunk
+        super().step()
+
+    def behind_by_s(self) -> float:
+        """How far virtual time lags its wall-clock schedule (>=0 if the
+        simulation is too slow to keep up at the requested speedup)."""
+        if self._wall_start is None:
+            return 0.0
+        expected = self._sim_start + (self._clock() - self._wall_start) * self.speedup
+        return max(0.0, expected - self.now)

@@ -1,0 +1,137 @@
+"""Tests for layout planning and the access scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.core import layout as L
+from repro.core.scheduler import AccessScheduler
+
+
+class TestLayouts:
+    def test_striped_round_robin(self):
+        p = L.striped(8, 4)
+        assert p == [[0, 4], [1, 5], [2, 6], [3, 7]]
+
+    def test_striped_uneven(self):
+        p = L.striped(5, 4)
+        assert L.placement_counts(p).tolist() == [2, 1, 1, 1]
+
+    def test_rotated_replicas_figure_6_1d(self):
+        """The 8-block, 2-replica, 4-disk example of Fig 6-1d."""
+        p = L.rotated_replicas(8, 2, 4)
+        # Disk 0: replica 0 of blocks {0,4}; replica 1 of blocks {3,7}.
+        assert p[0] == [0, 4, 8 + 3, 8 + 7]
+        # Every block has exactly 2 copies across distinct disks.
+        flat = [b for disk in p for b in disk]
+        assert sorted(flat) == list(range(16))
+
+    def test_rotated_replica_disks_distinct(self):
+        p = L.rotated_replicas(16, 4, 8)
+        owner = {}
+        for d, blocks in enumerate(p):
+            for b in blocks:
+                owner.setdefault(b % 16, set()).add(d)
+        assert all(len(disks) == 4 for disks in owner.values())
+
+    def test_coded_balanced(self):
+        p = L.coded_balanced(10, 4)
+        assert L.placement_counts(p).tolist() == [3, 3, 2, 2]
+        assert sorted(b for disk in p for b in disk) == list(range(10))
+
+    def test_unbalanced_assignment(self):
+        p = L.unbalanced([3, 0, 1])
+        assert L.placement_counts(p).tolist() == [3, 0, 1]
+        flat = sorted(b for disk in p for b in disk)
+        assert flat == list(range(4))
+
+    def test_unbalanced_total_check(self):
+        with pytest.raises(ValueError):
+            L.unbalanced([1, 2], n_coded=4)
+
+    def test_imbalance_metric(self):
+        assert L.imbalance([[0], [1]]) == 1.0
+        assert L.imbalance([[0, 1, 2], [3]]) == pytest.approx(1.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            L.striped(4, 0)
+        with pytest.raises(ValueError):
+            L.rotated_replicas(4, 0, 2)
+        with pytest.raises(ValueError):
+            L.coded_balanced(4, 0)
+
+
+class TestScheduler:
+    def test_random_selection_distinct_and_in_range(self):
+        s = AccessScheduler(128)
+        rng = np.random.default_rng(0)
+        sel = s.select(64, rng)
+        assert len(set(sel.tolist())) == 64
+        assert sel.min() >= 0 and sel.max() < 128
+
+    def test_selection_validation(self):
+        s = AccessScheduler(16)
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            s.select(17, rng)
+        with pytest.raises(ValueError):
+            s.select(0, rng)
+        with pytest.raises(ValueError):
+            AccessScheduler(0)
+        with pytest.raises(ValueError):
+            AccessScheduler(4, strategy="weird")
+
+    def test_random_selection_varies(self):
+        s = AccessScheduler(128)
+        rng = np.random.default_rng(1)
+        a = s.select(8, rng).tolist()
+        b = s.select(8, rng).tolist()
+        assert a != b
+
+    def test_lightly_loaded_avoids_busy_disks(self):
+        s = AccessScheduler(8, strategy="lightly-loaded")
+        s.note_assignment([0, 1, 2, 3], [100, 100, 100, 100])
+        rng = np.random.default_rng(2)
+        sel = set(s.select(4, rng).tolist())
+        assert sel == {4, 5, 6, 7}
+
+    def test_load_decrements_on_completion(self):
+        s = AccessScheduler(4, strategy="lightly-loaded")
+        s.note_assignment([0], [10])
+        s.note_completion([0], [10])
+        rng = np.random.default_rng(3)
+        # With all loads equal again, selection is unconstrained.
+        assert len(s.select(4, rng)) == 4
+
+    def test_disks_to_saturate_rule(self):
+        s = AccessScheduler(128)
+        # 10 Gbps client (1.2 GB/s) over 20 MB/s disks -> ~64 disks (§5.3.1).
+        assert s.disks_to_saturate(1.2e9, 20e6) == 60
+        with pytest.raises(ValueError):
+            s.disks_to_saturate(1e9, 0)
+
+
+class TestFractionalReplication:
+    def test_integer_redundancy_matches_full(self):
+        assert L.rotated_replicas_fractional(8, 1.0, 4) == L.rotated_replicas(8, 2, 4)
+
+    def test_half_round_adds_partial_copies(self):
+        p = L.rotated_replicas_fractional(8, 0.5, 4)
+        total = sum(len(d) for d in p)
+        assert total == 8 + 4  # one full copy + half a round
+
+    def test_partial_ids_map_to_low_blocks(self):
+        k = 8
+        p = L.rotated_replicas_fractional(k, 1.5, 4)
+        partial_ids = [b for d in p for b in d if b >= 2 * k]
+        assert sorted(b % k for b in partial_ids) == [0, 1, 2, 3]
+
+    def test_zero_redundancy_is_striping_rotation(self):
+        p = L.rotated_replicas_fractional(8, 0.0, 4)
+        assert sum(len(d) for d in p) == 8
+
+    def test_negative_rejected(self):
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            L.rotated_replicas_fractional(8, -0.1, 4)

@@ -1,0 +1,114 @@
+"""Tests for the Appendix C credential-chain access control."""
+
+import pytest
+
+from repro.cluster.credentials import (
+    CredentialChain,
+    KeyPair,
+    Verifier,
+    issue,
+)
+
+
+@pytest.fixture()
+def pki():
+    admin = KeyPair("admin", "admin-secret")
+    alice = KeyPair("alice", "alice-secret")
+    bob = KeyPair("bob", "bob-secret")
+    secrets = {k.public: k.secret for k in (admin, alice, bob)}
+    return admin, alice, bob, secrets
+
+
+def test_single_level_grant(pki):
+    admin, alice, _, secrets = pki
+    cred = issue(admin, alice.public, "RWX", handle="666240")
+    chain = CredentialChain([cred])
+    v = Verifier(admin.public, secrets)
+    assert v.verify(chain, alice.public, "R", handle="666240")
+    assert v.verify(chain, alice.public, "W", handle="666240")
+
+
+def test_two_level_delegation(pki):
+    admin, alice, bob, secrets = pki
+    chain = CredentialChain([issue(admin, alice.public, "RWX", handle="666240")])
+    chain2 = chain.delegate(alice, bob.public, "RW", handle="666240")
+    v = Verifier(admin.public, secrets)
+    assert v.verify(chain2, bob.public, "R", handle="666240")
+    assert v.verify(chain2, bob.public, "W", handle="666240")
+    # X was not delegated: rights intersect along the chain.
+    assert not v.verify(chain2, bob.public, "X", handle="666240")
+
+
+def test_presenter_must_be_last_licensee(pki):
+    admin, alice, bob, secrets = pki
+    chain = CredentialChain([issue(admin, alice.public, "RWX")])
+    v = Verifier(admin.public, secrets)
+    assert not v.verify(chain, bob.public, "R")
+
+
+def test_untrusted_root_rejected(pki):
+    admin, alice, _, secrets = pki
+    rogue = KeyPair("rogue", "rogue-secret")
+    secrets[rogue.public] = rogue.secret
+    chain = CredentialChain([issue(rogue, alice.public, "RWX")])
+    v = Verifier(admin.public, secrets)
+    assert not v.verify(chain, alice.public, "R")
+
+
+def test_tampered_signature_rejected(pki):
+    admin, alice, _, secrets = pki
+    cred = issue(admin, alice.public, "RWX")
+    from dataclasses import replace
+
+    forged = replace(cred, rights=frozenset("RWX"), signature="0" * 24)
+    v = Verifier(admin.public, secrets)
+    assert not v.verify(CredentialChain([forged]), alice.public, "R")
+
+
+def test_only_licensee_may_delegate(pki):
+    admin, alice, bob, _ = pki
+    chain = CredentialChain([issue(admin, alice.public, "RWX")])
+    with pytest.raises(PermissionError):
+        chain.delegate(bob, bob.public, "R")
+
+
+def test_time_window_enforced(pki):
+    admin, alice, bob, secrets = pki
+    chain = CredentialChain([issue(admin, alice.public, "RWX")])
+    chain2 = chain.delegate(alice, bob.public, "RWX", not_before=10.0, not_after=20.0)
+    v = Verifier(admin.public, secrets)
+    assert not v.verify(chain2, bob.public, "R", now=5.0)
+    assert v.verify(chain2, bob.public, "R", now=15.0)
+    assert not v.verify(chain2, bob.public, "R", now=25.0)
+
+
+def test_app_domain_condition(pki):
+    admin, alice, _, secrets = pki
+    chain = CredentialChain([issue(admin, alice.public, "R", app_domain="RobuSTore")])
+    v = Verifier(admin.public, secrets)
+    assert not v.verify(chain, alice.public, "R", app_domain="OtherApp")
+
+
+def test_handle_condition(pki):
+    admin, alice, _, secrets = pki
+    chain = CredentialChain([issue(admin, alice.public, "R", handle="h1")])
+    v = Verifier(admin.public, secrets)
+    assert v.verify(chain, alice.public, "R", handle="h1")
+    assert not v.verify(chain, alice.public, "R", handle="h2")
+
+
+def test_empty_chain_rejected(pki):
+    admin, _, _, secrets = pki
+    v = Verifier(admin.public, secrets)
+    assert not v.verify(CredentialChain([]), "anyone", "R")
+    with pytest.raises(ValueError):
+        CredentialChain([]).delegate(admin, "x", "R")
+
+
+def test_broken_delegation_link_rejected(pki):
+    admin, alice, bob, secrets = pki
+    # Bob signs the second link even though Alice is the licensee of link 1.
+    link1 = issue(admin, alice.public, "RWX")
+    link2 = issue(bob, bob.public, "RWX")
+    v = Verifier(admin.public, secrets)
+    assert not v.verify(CredentialChain([link1, link2]), bob.public, "R")

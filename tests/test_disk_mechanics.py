@@ -1,0 +1,111 @@
+"""Tests for drive mechanics and the calibrated bandwidth grid."""
+
+import numpy as np
+import pytest
+
+from repro.disk.calibration import grid_statistics, measure_bandwidth, table_6_1
+from repro.disk.mechanics import DiskMechanics, DriveSpec
+from repro.disk.workload import InDiskLayout
+
+
+def test_rotation_constants():
+    spec = DriveSpec(rpm=7200)
+    assert spec.rotation_period_s == pytest.approx(60 / 7200)
+    assert spec.avg_rotational_latency_s == pytest.approx(30 / 7200)
+
+
+def test_seek_time_zero_distance():
+    mech = DiskMechanics()
+    assert float(mech.seek_time(0)) == 0.0
+
+
+def test_seek_time_monotone_concave_start():
+    mech = DiskMechanics()
+    d = np.array([1, 10, 100, 1000, 10000, 59999])
+    t = mech.seek_time(d)
+    assert np.all(np.diff(t) > 0)
+    # Full-stroke seek in a plausible 10-25 ms band.
+    assert 0.005 < t[-1] < 0.030
+
+
+def test_rotational_latency_bounds():
+    mech = DiskMechanics()
+    rng = np.random.default_rng(0)
+    lat = mech.sample_rotational_latency(rng, 1000)
+    assert np.all(lat >= 0)
+    assert np.all(lat <= mech.spec.rotation_period_s)
+    assert lat.mean() == pytest.approx(mech.spec.avg_rotational_latency_s, rel=0.1)
+
+
+def test_media_rate_scales_with_spt():
+    mech = DiskMechanics()
+    fast = float(mech.media_rate_bps(1200))
+    slow = float(mech.media_rate_bps(600))
+    assert fast == pytest.approx(2 * slow)
+    # Outer zone of a 7200 rpm drive: tens of MB/s.
+    assert 50e6 < fast < 100e6
+
+
+def test_transfer_time_includes_track_switches():
+    mech = DiskMechanics()
+    spt = 1000
+    one_track = float(mech.transfer_time(1000, spt))
+    two_tracks = float(mech.transfer_time(2000, spt))
+    assert two_tracks > 2 * one_track  # the extra is the switch charge
+    assert two_tracks - 2 * one_track == pytest.approx(mech.spec.track_switch_s)
+
+
+def test_mean_positioning_time_band():
+    mech = DiskMechanics()
+    # Local seek + rotational latency: single-digit milliseconds.
+    assert 0.003 < mech.mean_positioning_time() < 0.012
+
+
+def test_request_time_positioned_vs_not():
+    mech = DiskMechanics()
+    rng = np.random.default_rng(1)
+    seq = np.mean([mech.request_time(64, 900, True, rng) for _ in range(50)])
+    rnd = np.mean([mech.request_time(64, 900, False, rng) for _ in range(50)])
+    assert rnd > seq + 0.002  # positioning dominates small requests
+
+
+def test_expected_bandwidth_matches_measured():
+    mech = DiskMechanics()
+    rng = np.random.default_rng(2)
+    layout = InDiskLayout(128, 0.0)
+    spt = 870
+    expect = mech.expected_bandwidth(128, 0.0, spt) / (1 << 20)
+    measured = measure_bandwidth(mech, layout, rng, total_mb=64, spt=spt)
+    assert measured == pytest.approx(expect, rel=0.15)
+
+
+class TestTable61:
+    """The calibrated grid approximates the paper's Table 6-1."""
+
+    @pytest.fixture(scope="class")
+    def cells(self):
+        return table_6_1(total_mb=32)
+
+    def test_slowest_cell_near_paper(self, cells):
+        worst = min(c.bandwidth_mbps for c in cells)
+        assert worst == pytest.approx(0.52, rel=0.3)
+
+    def test_spread_order_of_magnitude(self, cells):
+        stats = grid_statistics(cells)
+        assert stats["spread"] > 40  # paper: ~100x
+
+    def test_mean_near_15(self, cells):
+        stats = grid_statistics(cells)
+        assert 10 < stats["mean_mbps"] < 22  # paper: 14.9
+
+    def test_monotone_in_blocking_factor(self, cells):
+        for p_seq in (0.0, 1.0):
+            row = [c.bandwidth_mbps for c in cells if c.p_sequential == p_seq]
+            assert all(b > a for a, b in zip(row, row[1:]))
+
+    def test_sequential_beats_random(self, cells):
+        rnd = {c.blocking_factor: c.bandwidth_mbps for c in cells if c.p_sequential == 0.0}
+        seq = {c.blocking_factor: c.bandwidth_mbps for c in cells if c.p_sequential == 1.0}
+        for bf in rnd:
+            assert seq[bf] > rnd[bf]
+        assert seq[8] / rnd[8] > 4  # order-of-magnitude gap at small bf

@@ -1,0 +1,94 @@
+"""Tests for disk-failure handling across the stack."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.server import Cluster
+from repro.core import SCHEMES
+from repro.core.access import MB, AccessConfig
+from repro.disk.mechanics import DiskMechanics
+from repro.disk.service import BlockService, served_before
+from repro.disk.workload import InDiskLayout
+from repro.sim.rng import RngHub
+
+CFG = AccessConfig(data_bytes=32 * MB, block_bytes=1 * MB, n_disks=8, redundancy=3.0)
+
+
+def test_failed_service_never_completes():
+    svc = BlockService(
+        DiskMechanics(), InDiskLayout(256, 1.0), 870, np.random.default_rng(0), failed=True
+    )
+    c = svc.serve(4, MB, 0.0)
+    assert np.all(np.isinf(c))
+
+
+def test_served_before_ignores_infinite():
+    c = np.array([1.0, np.inf, np.inf])
+    assert served_before(c, 2.0) == 1
+    assert served_before(c, float("inf")) == 1
+    assert served_before(np.full(3, np.inf), 100.0) == 0
+
+
+def run_with_failures(name, failed, trial=0):
+    cluster = Cluster(n_disks=8, rtt_s=0.001)
+    hub = RngHub(9)
+    scheme = SCHEMES[name](cluster, CFG, hub=hub)
+    cluster.redraw_disk_states(hub.fresh("env", trial), failed_disks=failed)
+    scheme.prepare("f", trial)
+    return scheme.read("f", trial)
+
+
+def test_raid0_dies_with_any_failed_disk():
+    r = run_with_failures("raid0", failed={0})
+    assert r.latency_s == float("inf")
+
+
+def test_robustore_survives_failures():
+    r = run_with_failures("robustore", failed={0, 1})
+    assert np.isfinite(r.latency_s)
+    assert r.extra["reception_overhead"] < 2.0
+
+
+def test_rraid_s_survives_one_failure():
+    r = run_with_failures("rraid-s", failed={3})
+    assert np.isfinite(r.latency_s)
+
+
+def test_rraid_a_survives_one_failure():
+    r = run_with_failures("rraid-a", failed={3})
+    assert np.isfinite(r.latency_s)
+
+
+def _prepare_then_fail(name, positions, trial=0):
+    """Fail the disks at specific *placement positions* (rotation-aware)."""
+    cluster = Cluster(n_disks=8, rtt_s=0.001)
+    hub = RngHub(9)
+    scheme = SCHEMES[name](cluster, CFG, hub=hub)
+    cluster.redraw_disk_states(hub.fresh("env", trial))
+    record = scheme.prepare("f", trial)
+    failed = {record.disk_ids[p] for p in positions}
+    cluster.redraw_disk_states(hub.fresh("env", trial), failed_disks=failed)
+    return scheme.read("f", trial)
+
+
+def test_rraid_a_dies_when_all_replicas_failed():
+    """Kill four placement-consecutive disks: blocks homed on the first
+    lose every rotated copy (replicas = 4)."""
+    r = _prepare_then_fail("rraid-a", positions=(0, 1, 2, 3))
+    assert r.latency_s == float("inf")
+
+
+def test_rraid_s_dies_when_all_replicas_failed():
+    r = _prepare_then_fail("rraid-s", positions=(0, 1, 2, 3))
+    assert r.latency_s == float("inf")
+
+
+def test_robustore_survives_where_replication_cannot():
+    r = _prepare_then_fail("robustore", positions=(0, 1, 2, 3))
+    assert np.isfinite(r.latency_s)
+
+
+def test_too_many_failures_kill_even_robustore():
+    """With every selected disk dead, nothing decodes."""
+    r = run_with_failures("robustore", failed=set(range(8)))
+    assert r.latency_s == float("inf")

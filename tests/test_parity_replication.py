@@ -1,0 +1,118 @@
+"""Tests for the parity and replication codes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding import ParityCode, ReplicationCode
+from repro.coding.xorblocks import random_blocks
+
+
+class TestParity:
+    def test_encode_appends_parity(self):
+        rng = np.random.default_rng(0)
+        code = ParityCode(3)
+        data = random_blocks(rng, 3, 8)
+        coded = code.encode(data)
+        assert coded.shape == (4, 8)
+        assert np.array_equal(coded[3], data[0] ^ data[1] ^ data[2])
+
+    def test_recover_missing_data_block(self):
+        rng = np.random.default_rng(1)
+        code = ParityCode(4)
+        data = random_blocks(rng, 4, 16)
+        coded = code.encode(data)
+        ids = [0, 2, 3, 4]  # block 1 missing, parity present
+        out = code.decode(ids, coded[ids])
+        assert np.array_equal(out, data)
+
+    def test_all_data_blocks_no_parity(self):
+        rng = np.random.default_rng(2)
+        code = ParityCode(4)
+        data = random_blocks(rng, 4, 16)
+        coded = code.encode(data)
+        out = code.decode([0, 1, 2, 3], coded[:4])
+        assert np.array_equal(out, data)
+
+    def test_two_erasures_rejected(self):
+        code = ParityCode(4)
+        with pytest.raises(ValueError):
+            code.decode([0, 1, 4], np.zeros((3, 8), np.uint8))
+
+    def test_rate(self):
+        assert ParityCode(4).rate == pytest.approx(0.8)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            ParityCode(0)
+
+    def test_wrong_block_count(self):
+        code = ParityCode(3)
+        with pytest.raises(ValueError):
+            code.encode(np.zeros((2, 8), np.uint8))
+
+
+class TestReplication:
+    def test_encode_tiles(self):
+        rng = np.random.default_rng(3)
+        code = ReplicationCode(3, replicas=2)
+        data = random_blocks(rng, 3, 8)
+        coded = code.encode(data)
+        assert coded.shape == (6, 8)
+        assert np.array_equal(coded[:3], data)
+        assert np.array_equal(coded[3:], data)
+
+    def test_original_of_and_replica_ids(self):
+        code = ReplicationCode(4, replicas=3)
+        assert code.original_of(0) == 0
+        assert code.original_of(5) == 1
+        assert list(code.replica_ids(2)) == [2, 6, 10]
+        with pytest.raises(IndexError):
+            code.original_of(12)
+        with pytest.raises(IndexError):
+            code.replica_ids(4)
+
+    def test_decode_needs_full_coverage(self):
+        rng = np.random.default_rng(4)
+        code = ReplicationCode(3, replicas=2)
+        data = random_blocks(rng, 3, 8)
+        coded = code.encode(data)
+        out = code.decode([3, 1, 5], coded[[3, 1, 5]])
+        assert np.array_equal(out, data)
+        with pytest.raises(ValueError):
+            code.decode([0, 3], coded[[0, 3]])  # block 1, 2 uncovered
+
+    def test_covered(self):
+        code = ReplicationCode(2, replicas=2)
+        assert code.covered([0, 3])
+        assert not code.covered([0, 2])
+
+    def test_blocks_needed(self):
+        code = ReplicationCode(2, replicas=2)
+        assert code.blocks_needed([0, 2, 1]) == 3  # 0 then dup of 0 then 1
+        assert code.blocks_needed([0, 1]) == 2
+        assert code.blocks_needed([0, 2]) == 3  # sentinel: never covered
+
+    def test_rate_redundancy(self):
+        code = ReplicationCode(4, replicas=4)
+        assert code.rate == 0.25
+        assert code.redundancy == 3.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_random_permutation_coverage_property(self, k, r, seed):
+        """Reading all N replicas in any order always reconstructs."""
+        rng = np.random.default_rng(seed)
+        code = ReplicationCode(k, replicas=r)
+        data = random_blocks(rng, k, 8)
+        coded = code.encode(data)
+        order = rng.permutation(code.n)
+        needed = code.blocks_needed(order)
+        assert needed <= code.n
+        out = code.decode(order[:needed], coded[order[:needed]])
+        assert np.array_equal(out, data)

@@ -1,0 +1,169 @@
+"""Tests for the incremental peeling decoder."""
+
+import numpy as np
+import pytest
+
+from repro.coding import ImprovedLTCode, LTGraph, PeelingDecoder
+from repro.coding.peeling import blocks_needed, decodable
+from repro.coding.xorblocks import random_blocks
+
+
+def chain_graph(k: int) -> LTGraph:
+    """Hand-built graph: block 0 is degree-1, each next adds one original."""
+    g = LTGraph(k)
+    for j in range(k):
+        g.neighbors.append(np.arange(j + 1))
+    return g
+
+
+def test_ripple_cascade():
+    """Adding blocks back-to-front defers all decoding to the last arrival."""
+    k = 5
+    g = chain_graph(k)
+    dec = PeelingDecoder(g)
+    for j in range(k - 1, 0, -1):
+        assert dec.add(j) == 0
+    assert not dec.is_complete
+    newly = dec.add(0)  # degree-1 block triggers the full cascade
+    assert newly == k
+    assert dec.is_complete
+
+
+def test_forward_order_decodes_one_each():
+    k = 4
+    g = chain_graph(k)
+    dec = PeelingDecoder(g)
+    for j in range(k):
+        assert dec.add(j) == 1
+    assert dec.is_complete
+    assert dec.blocks_used == k
+    assert dec.reception_overhead == pytest.approx(0.0)
+
+
+def test_duplicate_add_counts_bytes_not_progress():
+    g = chain_graph(3)
+    dec = PeelingDecoder(g)
+    dec.add(0)
+    assert dec.add(0) == 0
+    assert dec.blocks_used == 2
+    assert dec.decoded_count == 1
+
+
+def test_redundant_block_after_decode_is_discarded():
+    g = chain_graph(2)
+    dec = PeelingDecoder(g)
+    dec.add(0)
+    dec.add(1)
+    assert dec.is_complete
+    dec.add(1)
+    assert dec.blocks_used == 3
+
+
+def test_out_of_range_raises():
+    dec = PeelingDecoder(chain_graph(2))
+    with pytest.raises(IndexError):
+        dec.add(5)
+
+
+def test_data_mode_requires_payload():
+    dec = PeelingDecoder(chain_graph(2), block_len=8)
+    with pytest.raises(ValueError):
+        dec.add(0)
+
+
+def test_get_data_rejected_in_symbolic_mode():
+    dec = PeelingDecoder(chain_graph(2))
+    with pytest.raises(RuntimeError):
+        dec.get_data()
+
+
+def test_get_data_incomplete_raises():
+    dec = PeelingDecoder(chain_graph(2), block_len=8)
+    dec.add(1, np.zeros(8, np.uint8))
+    with pytest.raises(RuntimeError):
+        dec.get_data()
+
+
+def test_lazy_xor_counts_only_resolution_work():
+    """xor_ops equals sum of (degree-1) across resolved blocks — no waste."""
+    k = 6
+    g = chain_graph(k)
+    dec = PeelingDecoder(g)
+    for j in range(k):
+        dec.add(j)
+    assert dec.xor_ops == sum(j for j in range(k))
+    assert dec.edges_peeled == sum(j + 1 for j in range(k))
+
+
+def test_is_decoded_tracks_individual_blocks():
+    g = chain_graph(3)
+    dec = PeelingDecoder(g)
+    dec.add(0)
+    assert dec.is_decoded(0)
+    assert not dec.is_decoded(1)
+
+
+def test_blocks_needed_sentinel_when_impossible():
+    g = LTGraph(3)
+    g.neighbors = [np.array([0]), np.array([0, 1])]  # block 2 never covered
+    assert blocks_needed(g, [0, 1]) == 3
+    assert not decodable(g)
+
+
+def test_blocks_needed_exact():
+    g = chain_graph(4)
+    assert blocks_needed(g, [3, 2, 1, 0]) == 4
+    assert blocks_needed(g, [0, 1, 2, 3]) == 4
+
+
+def test_data_mode_payload_is_copied():
+    g = chain_graph(2)
+    dec = PeelingDecoder(g, block_len=8)
+    buf = np.ones(8, np.uint8)
+    dec.add(1, buf)
+    buf[:] = 0  # mutating the caller's buffer must not corrupt the decoder
+    dec.add(0, np.full(8, 5, np.uint8))
+    data = dec.get_data()
+    assert list(data[0]) == [5] * 8
+    assert list(data[1]) == [5 ^ 1] * 8
+
+
+def test_roundtrip_against_reference_gaussian_elimination():
+    """Cross-check peeling against brute-force GF(2) solving."""
+    rng = np.random.default_rng(0)
+    k = 12
+    code = ImprovedLTCode(k, c=0.5, delta=0.5)
+    graph = code.build_graph(5 * k, rng)
+    data = random_blocks(rng, k, 8)
+    coded = code.encode(data, graph)
+    order = list(rng.permutation(graph.n))
+
+    dec = PeelingDecoder(graph, block_len=8)
+    used = 0
+    for cid in order:
+        dec.add(int(cid), coded[cid])
+        used += 1
+        if dec.is_complete:
+            break
+    assert dec.is_complete
+
+    # Reference: solve the GF(2) system with the same prefix of blocks.
+    ids = order[:used]
+    M = np.zeros((len(ids), k), dtype=np.uint8)
+    for row, cid in enumerate(ids):
+        M[row, graph.neighbors[cid]] = 1
+    # Gaussian elimination over GF(2) to confirm full rank.
+    A = M.copy()
+    rank = 0
+    for col in range(k):
+        rows = np.nonzero(A[rank:, col])[0]
+        if rows.size == 0:
+            continue
+        pivot = rank + rows[0]
+        A[[rank, pivot]] = A[[pivot, rank]]
+        for r in range(len(ids)):
+            if r != rank and A[r, col]:
+                A[r] ^= A[rank]
+        rank += 1
+    assert rank == k  # peeling success implies full rank
+    assert np.array_equal(dec.get_data(), data)

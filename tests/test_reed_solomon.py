@@ -1,0 +1,117 @@
+"""Tests for the Reed-Solomon optimal erasure code."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding import ReedSolomonCode
+from repro.coding.xorblocks import random_blocks
+
+
+def test_systematic_prefix():
+    rng = np.random.default_rng(0)
+    code = ReedSolomonCode(4, 8)
+    data = random_blocks(rng, 4, 16)
+    coded = code.encode(data)
+    assert np.array_equal(coded[:4], data)
+    assert coded.shape == (8, 16)
+
+
+def test_decode_from_systematic_blocks():
+    rng = np.random.default_rng(1)
+    code = ReedSolomonCode(4, 8)
+    data = random_blocks(rng, 4, 16)
+    coded = code.encode(data)
+    out = code.decode([0, 1, 2, 3], coded[:4])
+    assert np.array_equal(out, data)
+
+
+def test_decode_from_parity_only():
+    rng = np.random.default_rng(2)
+    code = ReedSolomonCode(4, 8)
+    data = random_blocks(rng, 4, 16)
+    coded = code.encode(data)
+    out = code.decode([4, 5, 6, 7], coded[4:])
+    assert np.array_equal(out, data)
+
+
+def test_decode_from_any_k_subset():
+    rng = np.random.default_rng(3)
+    code = ReedSolomonCode(5, 12)
+    data = random_blocks(rng, 5, 24)
+    coded = code.encode(data)
+    for _ in range(20):
+        ids = rng.choice(12, size=5, replace=False)
+        out = code.decode(ids, coded[ids])
+        assert np.array_equal(out, data)
+
+
+def test_decode_too_few_blocks_raises():
+    code = ReedSolomonCode(4, 8)
+    with pytest.raises(ValueError):
+        code.decode([0, 1, 2], np.zeros((3, 8), np.uint8))
+
+
+def test_decode_duplicates_not_counted():
+    code = ReedSolomonCode(3, 6)
+    with pytest.raises(ValueError):
+        code.decode([0, 0, 1], np.zeros((3, 8), np.uint8))
+
+
+def test_decode_extra_blocks_ignored():
+    rng = np.random.default_rng(4)
+    code = ReedSolomonCode(3, 6)
+    data = random_blocks(rng, 3, 8)
+    coded = code.encode(data)
+    ids = [5, 2, 0, 4, 1]
+    out = code.decode(ids, coded[ids])
+    assert np.array_equal(out, data)
+
+
+def test_rate_and_redundancy():
+    code = ReedSolomonCode(4, 16)
+    assert code.rate == 0.25
+    assert code.redundancy == 3.0
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        ReedSolomonCode(0, 4)
+    with pytest.raises(ValueError):
+        ReedSolomonCode(8, 4)
+    with pytest.raises(ValueError):
+        ReedSolomonCode(128, 300)
+
+
+def test_n_equals_k_passthrough():
+    rng = np.random.default_rng(5)
+    code = ReedSolomonCode(4, 4)
+    data = random_blocks(rng, 4, 8)
+    coded = code.encode(data)
+    assert np.array_equal(coded, data)
+
+
+def test_generator_rows():
+    code = ReedSolomonCode(3, 5)
+    assert list(code.generator_row(1)) == [0, 1, 0]
+    assert np.array_equal(code.generator_row(3), code.parity_matrix[0])
+    with pytest.raises(IndexError):
+        code.generator_row(5)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=10),
+    st.integers(min_value=0, max_value=10),
+    st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_mds_property(k, extra, seed):
+    """Any K distinct coded blocks reconstruct the data exactly."""
+    rng = np.random.default_rng(seed)
+    n = k + extra
+    code = ReedSolomonCode(k, n)
+    data = random_blocks(rng, k, 8)
+    coded = code.encode(data)
+    ids = rng.choice(n, size=k, replace=False)
+    assert np.array_equal(code.decode(ids, coded[ids]), data)

@@ -1,0 +1,91 @@
+"""Cross-validation: event-driven reference engine vs the closed form."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.server import Cluster
+from repro.core import SCHEMES
+from repro.core.access import MB, AccessConfig
+from repro.core.reference import reference_read
+from repro.sim.rng import RngHub
+
+CFG = AccessConfig(data_bytes=32 * MB, block_bytes=1 * MB, n_disks=8, redundancy=3.0)
+
+
+def setup(scheme_name, trial=0, seed=5, bg=None):
+    cluster = Cluster(n_disks=16, rtt_s=0.002)
+    hub = RngHub(seed)
+    scheme = SCHEMES[scheme_name](cluster, CFG, hub=hub)
+    cluster.redraw_disk_states(hub.fresh("env", trial), background_intervals=bg)
+    record = scheme.prepare("f", trial)
+    return cluster, hub, scheme, record
+
+
+def run_reference(cluster, hub, scheme, record, trial=0, n_clients=1):
+    return reference_read(
+        cluster,
+        record.disk_ids,
+        record.placement,
+        CFG.block_bytes,
+        scheme.name,
+        lambda d: hub.fresh("refsvc", trial, d),
+        k=CFG.k,
+        graph=record.extra.get("graph"),
+        n_clients=n_clients,
+    )
+
+
+@pytest.mark.parametrize("name", ["raid0", "rraid-s", "robustore"])
+def test_reference_engine_completes(name):
+    cluster, hub, scheme, record = setup(name)
+    ref = run_reference(cluster, hub, scheme, record)
+    assert np.isfinite(ref.latency_s) and ref.latency_s > 0.005
+    assert ref.blocks_received >= CFG.k or name == "robustore"
+    assert ref.network_bytes >= ref.blocks_received * CFG.block_bytes
+
+
+@pytest.mark.parametrize("name", ["raid0", "robustore"])
+def test_reference_matches_closed_form_mean(name):
+    """Engines agree in distribution: compare trial-mean latencies."""
+    ref_lats, fast_lats = [], []
+    for trial in range(6):
+        cluster, hub, scheme, record = setup(name, trial=trial)
+        ref = run_reference(cluster, hub, scheme, record, trial=trial)
+        ref_lats.append(ref.latency_s)
+        fast_lats.append(scheme.read("f", trial).latency_s)
+    ref_m, fast_m = np.mean(ref_lats), np.mean(fast_lats)
+    assert ref_m == pytest.approx(fast_m, rel=0.35), (ref_lats, fast_lats)
+
+
+def test_reference_with_background_slows_down():
+    cluster, hub, scheme, record = setup("robustore", seed=6)
+    quiet = run_reference(cluster, hub, scheme, record)
+    bg = {d: 0.02 for d in range(16)}
+    cluster2, hub2, scheme2, record2 = setup("robustore", seed=6, bg=bg)
+    loaded = run_reference(cluster2, hub2, scheme2, record2)
+    assert loaded.latency_s > quiet.latency_s
+
+
+def test_reference_multi_client_contention():
+    """Concurrent clients on the same drives slow each other down."""
+    cluster, hub, scheme, record = setup("robustore", seed=7)
+    solo = run_reference(cluster, hub, scheme, record, n_clients=1)
+    cluster2, hub2, scheme2, record2 = setup("robustore", seed=7)
+    shared = run_reference(cluster2, hub2, scheme2, record2, n_clients=4)
+    assert len(shared.per_client) == 4
+    mean_shared = np.mean(list(shared.per_client.values()))
+    assert mean_shared > solo.latency_s * 1.5
+
+
+def test_reference_rejects_unknown_scheme():
+    cluster, hub, scheme, record = setup("raid0")
+    with pytest.raises(ValueError):
+        reference_read(
+            cluster,
+            record.disk_ids,
+            record.placement,
+            CFG.block_bytes,
+            "raid6",
+            lambda d: hub.fresh("x", d),
+            k=CFG.k,
+        )

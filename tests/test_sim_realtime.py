@@ -1,0 +1,103 @@
+"""Tests for the wall-clock-paced environment (with a fake clock)."""
+
+import pytest
+
+from repro.sim.realtime import ThrottledEnvironment
+
+
+class FakeClock:
+    """Deterministic wall clock: sleep() advances it exactly."""
+
+    def __init__(self) -> None:
+        self.t = 100.0
+        self.sleeps: list[float] = []
+
+    def clock(self) -> float:
+        return self.t
+
+    def sleep(self, dt: float) -> None:
+        self.sleeps.append(dt)
+        self.t += dt
+
+
+def make_env(speedup=1.0, **kw):
+    fake = FakeClock()
+    env = ThrottledEnvironment(
+        speedup=speedup, sleep=fake.sleep, clock=fake.clock, **kw
+    )
+    return env, fake
+
+
+def test_paces_to_wall_clock():
+    env, fake = make_env(speedup=1.0)
+
+    def proc(env):
+        yield env.timeout(2.0)
+
+    env.process(proc(env))
+    env.run()
+    # 2 virtual seconds at speedup 1 -> ~2 wall seconds slept.
+    assert sum(fake.sleeps) == pytest.approx(2.0, abs=0.01)
+
+
+def test_speedup_divides_sleep():
+    env, fake = make_env(speedup=10.0)
+
+    def proc(env):
+        yield env.timeout(5.0)
+
+    env.process(proc(env))
+    env.run()
+    assert sum(fake.sleeps) == pytest.approx(0.5, abs=0.01)
+
+
+def test_sleep_chunked_by_max_sleep():
+    env, fake = make_env(speedup=1.0, max_sleep_s=0.25)
+
+    def proc(env):
+        yield env.timeout(1.0)
+
+    env.process(proc(env))
+    env.run()
+    assert max(fake.sleeps) <= 0.25 + 1e-9
+    assert len(fake.sleeps) >= 4
+
+
+def test_infinite_speedup_never_sleeps():
+    env, fake = make_env(speedup=float("inf"))
+
+    def proc(env):
+        yield env.timeout(100.0)
+
+    env.process(proc(env))
+    env.run()
+    assert fake.sleeps == []
+
+
+def test_invalid_speedup():
+    with pytest.raises(ValueError):
+        ThrottledEnvironment(speedup=0)
+
+
+def test_behind_by_zero_when_on_schedule():
+    env, fake = make_env(speedup=1.0)
+
+    def proc(env):
+        yield env.timeout(0.5)
+
+    env.process(proc(env))
+    env.run()
+    assert env.behind_by_s() == pytest.approx(0.0, abs=0.01)
+
+
+def test_total_slept_accounting():
+    env, fake = make_env(speedup=2.0)
+
+    def proc(env):
+        yield env.timeout(1.0)
+        yield env.timeout(1.0)
+
+    env.process(proc(env))
+    env.run()
+    assert env.total_slept_s == pytest.approx(sum(fake.sleeps))
+    assert env.total_slept_s == pytest.approx(1.0, abs=0.02)

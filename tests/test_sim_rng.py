@@ -1,0 +1,63 @@
+"""Tests for deterministic RNG stream management."""
+
+from repro.sim import RngHub
+
+
+def test_same_seed_same_stream():
+    a = RngHub(42).stream("disk", 1)
+    b = RngHub(42).stream("disk", 1)
+    assert list(a.integers(0, 1000, 10)) == list(b.integers(0, 1000, 10))
+
+
+def test_different_keys_differ():
+    hub = RngHub(42)
+    xs = hub.stream("disk", 1).integers(0, 10**9, 8)
+    ys = hub.stream("disk", 2).integers(0, 10**9, 8)
+    assert list(xs) != list(ys)
+
+
+def test_different_seeds_differ():
+    xs = RngHub(1).stream("x").integers(0, 10**9, 8)
+    ys = RngHub(2).stream("x").integers(0, 10**9, 8)
+    assert list(xs) != list(ys)
+
+
+def test_stream_is_cached_and_stateful():
+    hub = RngHub(5)
+    first = hub.stream("a").random()
+    second = hub.stream("a").random()
+    assert first != second  # same generator advancing, not a fresh copy
+
+
+def test_fresh_restarts_stream():
+    hub = RngHub(5)
+    x = hub.fresh("a").random()
+    y = hub.fresh("a").random()
+    assert x == y
+
+
+def test_string_and_int_keys_are_distinct():
+    hub = RngHub(9)
+    assert hub.fresh("1").random() != hub.fresh(1).random()
+
+
+def test_insensitive_to_creation_order():
+    h1 = RngHub(3)
+    h1.stream("a")
+    val1 = h1.stream("b").random()
+    h2 = RngHub(3)
+    val2 = h2.stream("b").random()
+    assert val1 == val2
+
+
+def test_spawn_independent_and_stable():
+    hub = RngHub(5)
+    child1 = hub.spawn("worker", 1)
+    child2 = hub.spawn("worker", 2)
+    again = RngHub(5).spawn("worker", 1)
+    a = list(child1.stream("x").integers(0, 10**9, 4))
+    b = list(child2.stream("x").integers(0, 10**9, 4))
+    c = list(again.stream("x").integers(0, 10**9, 4))
+    assert a != b  # different children diverge
+    assert a == c  # same derivation is stable
+    assert a != list(RngHub(5).stream("x").integers(0, 10**9, 4))

@@ -1,0 +1,99 @@
+"""Tests for the soliton degree distributions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding.soliton import (
+    expected_degree,
+    ideal_soliton,
+    robust_soliton,
+    sample_degrees,
+)
+
+
+def test_ideal_soliton_sums_to_one():
+    for k in (1, 2, 10, 100, 1024):
+        assert ideal_soliton(k).sum() == pytest.approx(1.0)
+
+
+def test_ideal_soliton_known_values():
+    rho = ideal_soliton(4)
+    assert rho[1] == pytest.approx(0.25)
+    assert rho[2] == pytest.approx(0.5)
+    assert rho[3] == pytest.approx(1 / 6)
+    assert rho[4] == pytest.approx(1 / 12)
+
+
+def test_ideal_soliton_rejects_bad_k():
+    with pytest.raises(ValueError):
+        ideal_soliton(0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=2000),
+    st.floats(min_value=0.01, max_value=3.0),
+    st.floats(min_value=0.01, max_value=0.99),
+)
+def test_robust_soliton_is_distribution(k, c, delta):
+    mu = robust_soliton(k, c, delta)
+    assert mu.shape == (k + 1,)
+    assert mu[0] == 0.0
+    assert np.all(mu >= 0)
+    assert mu.sum() == pytest.approx(1.0)
+
+
+def test_robust_soliton_parameter_validation():
+    with pytest.raises(ValueError):
+        robust_soliton(10, c=0.0)
+    with pytest.raises(ValueError):
+        robust_soliton(10, delta=0.0)
+    with pytest.raises(ValueError):
+        robust_soliton(10, delta=1.5)
+    with pytest.raises(ValueError):
+        robust_soliton(0)
+
+
+def test_robust_soliton_has_spike():
+    """The robust distribution exceeds the ideal one at the spike degree."""
+    k = 1024
+    mu = robust_soliton(k, c=1.0, delta=0.1)
+    rho = ideal_soliton(k)
+    diff = mu * (mu.sum() / 1.0) - rho / rho.sum()
+    # Somewhere above degree 1, mass was added.
+    assert np.any(mu[2:] * 1.0 > rho[2:] / 1.0)
+    assert diff is not None
+
+
+def test_larger_c_means_lower_mean_degree():
+    """Larger C adds low-degree mass (dissertation §5.2.4)."""
+    k = 1024
+    low_c = expected_degree(robust_soliton(k, c=0.05, delta=0.5))
+    high_c = expected_degree(robust_soliton(k, c=2.0, delta=0.5))
+    assert high_c < low_c
+
+
+def test_paper_regime_mean_degree_about_five():
+    """C=1, delta=0.1, K=1024: mean coded degree ~5 (§4.3.4, App. A2)."""
+    mu = robust_soliton(1024, c=1.0, delta=0.1)
+    assert 3.0 < expected_degree(mu) < 8.0
+
+
+def test_sample_degrees_range_and_determinism():
+    mu = robust_soliton(256, c=0.5, delta=0.5)
+    rng = np.random.default_rng(7)
+    d = sample_degrees(mu, 10000, rng)
+    assert d.min() >= 1
+    assert d.max() <= 256
+    rng2 = np.random.default_rng(7)
+    d2 = sample_degrees(mu, 10000, rng2)
+    assert np.array_equal(d, d2)
+
+
+def test_sample_degrees_mean_matches_distribution():
+    mu = robust_soliton(512, c=1.0, delta=0.1)
+    rng = np.random.default_rng(11)
+    d = sample_degrees(mu, 50000, rng)
+    assert d.mean() == pytest.approx(expected_degree(mu), rel=0.05)

