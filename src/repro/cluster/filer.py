@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.cluster.fscache import SetAssociativeCache
 from repro.net.link import Link
+from repro.obs.tracer import NULL_TRACER
 
 
 class Filer:
@@ -33,6 +34,9 @@ class Filer:
         Client link (fixed RTT, plentiful bandwidth).
     cache:
         Shared filesystem cache; ``None`` disables caching.
+    tracer:
+        Optional :class:`repro.obs.Tracer`; the filer counts filesystem
+        cache hits/misses and disk traffic through it.
     """
 
     def __init__(
@@ -41,12 +45,14 @@ class Filer:
         disk_ids: list[int],
         link: Link,
         cache: SetAssociativeCache | None = None,
+        tracer=None,
     ) -> None:
         self.filer_id = filer_id
         self.disk_ids = list(disk_ids)
         self.link = link
         self.cache = cache
         self.disk_bytes_read = 0
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # -- cache interface (block granularity) -----------------------------------
     def cached_blocks(self, file_name: str, block_ids) -> np.ndarray:
@@ -56,22 +62,31 @@ class Filer:
         :meth:`read_access` / :meth:`write_access`).
         """
         if self.cache is None:
-            return np.zeros(len(list(block_ids)), dtype=bool)
-        return np.array(
-            [self.cache.contains_line((file_name, int(b))) for b in block_ids],
-            dtype=bool,
-        )
+            mask = np.zeros(len(list(block_ids)), dtype=bool)
+        else:
+            mask = np.array(
+                [self.cache.contains_line((file_name, int(b))) for b in block_ids],
+                dtype=bool,
+            )
+        if self.tracer.enabled and mask.size:
+            hits = int(np.count_nonzero(mask))
+            self.tracer.count("filer.fscache_hits", hits)
+            self.tracer.count("filer.fscache_misses", int(mask.size) - hits)
+        return mask
 
     def record_read(self, file_name: str, block_ids, block_bytes: int) -> None:
         """Blocks served from disk enter the cache; hits refresh LRU."""
+        before = self.disk_bytes_read
         if self.cache is None:
             self.disk_bytes_read += len(list(block_ids)) * block_bytes
-            return
-        for b in block_ids:
-            key = (file_name, int(b))
-            if not self.cache.lookup_line(key):
-                self.disk_bytes_read += block_bytes
-                self.cache.insert_line(key)
+        else:
+            for b in block_ids:
+                key = (file_name, int(b))
+                if not self.cache.lookup_line(key):
+                    self.disk_bytes_read += block_bytes
+                    self.cache.insert_line(key)
+        if self.tracer.enabled:
+            self.tracer.count("filer.bytes_from_disk", self.disk_bytes_read - before)
 
     def record_write(self, file_name: str, block_ids, block_bytes: int) -> None:
         """Write-through: populate the cache, all bytes hit the disk."""

@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.obs.tracer import NULL_TRACER
+
 #: Constant latency per metadata-service access (§6.2.2).
 METADATA_ACCESS_LATENCY_S = 0.005
 
@@ -66,12 +68,15 @@ class MetadataServer:
     charge simulated time.
     """
 
-    def __init__(self, latency_s: float = METADATA_ACCESS_LATENCY_S) -> None:
+    def __init__(
+        self, latency_s: float = METADATA_ACCESS_LATENCY_S, tracer=None
+    ) -> None:
         self.latency_s = latency_s
         self._files: dict[str, FileRecord] = {}
         self._locks: dict[str, tuple[str, str]] = {}  # name -> (mode, holder)
         self._servers: dict[int, dict] = {}
         self.accesses = 0
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # -- storage-server registry ------------------------------------------------
     def register_server(self, server_id: int, info: dict | None = None) -> float:
@@ -107,10 +112,14 @@ class MetadataServer:
         if mode not in ("r", "w"):
             raise ValueError(f"mode must be 'r' or 'w', not {mode!r}")
         self.accesses += 1
+        if self.tracer.enabled:
+            self.tracer.count("meta.accesses")
         existing = self._locks.get(name)
         if existing is not None:
             held_mode, _ = existing
             if mode == "w" or held_mode == "w":
+                if self.tracer.enabled:
+                    self.tracer.count("meta.lock_conflicts")
                 raise FileLockedError(f"{name}: locked {held_mode}")
         record = self._files.get(name)
         if mode == "r" and record is None:
@@ -122,6 +131,8 @@ class MetadataServer:
     def commit(self, record: FileRecord) -> float:
         """Register a written file's structure and location (§4.3.2)."""
         self.accesses += 1
+        if self.tracer.enabled:
+            self.tracer.count("meta.accesses")
         self._files[record.name] = record
         return self.latency_s
 

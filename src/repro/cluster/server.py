@@ -13,6 +13,7 @@ from repro.disk.mechanics import DiskMechanics
 from repro.disk.service import BackgroundLoad, BlockService
 from repro.disk.workload import InDiskLayout, draw_layout
 from repro.net.link import Link
+from repro.obs.tracer import NULL_TRACER
 
 
 @dataclass
@@ -42,10 +43,13 @@ class StorageServer:
         link: Link,
         cache: SetAssociativeCache | None = None,
         admission: AdmissionController | None = None,
+        tracer=None,
     ) -> None:
         self.server_id = server_id
-        self.filer = Filer(server_id, disk_ids, link, cache)
+        tracer = tracer if tracer is not None else NULL_TRACER
+        self.filer = Filer(server_id, disk_ids, link, cache, tracer=tracer)
         self.admission = admission or AdmissionController()
+        self.admission.tracer = tracer
 
     @property
     def disk_ids(self) -> list[int]:
@@ -67,6 +71,10 @@ class Cluster:
         Per-filer filesystem cache size; 0 disables caching.
     mechanics:
         Shared drive mechanics.
+    tracer:
+        Optional :class:`repro.obs.Tracer` shared by every filer and
+        admission controller; the access machinery reads it off the
+        cluster (``cluster.tracer``).
     """
 
     def __init__(
@@ -77,12 +85,14 @@ class Cluster:
         fs_cache_bytes: int = 0,
         cache_line_bytes: int = 1 << 20,
         mechanics: DiskMechanics | None = None,
+        tracer=None,
     ) -> None:
         if n_disks < 1 or disks_per_filer < 1:
             raise ValueError("disk counts must be positive")
         self.n_disks = n_disks
         self.disks_per_filer = disks_per_filer
         self.mechanics = mechanics or DiskMechanics()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.servers: list[StorageServer] = []
         n_filers = -(-n_disks // disks_per_filer)
         for f in range(n_filers):
@@ -92,7 +102,9 @@ class Cluster:
                 if fs_cache_bytes > 0
                 else None
             )
-            self.servers.append(StorageServer(f, ids, Link(rtt_s=rtt_s), cache))
+            self.servers.append(
+                StorageServer(f, ids, Link(rtt_s=rtt_s), cache, tracer=self.tracer)
+            )
         self._disk_states: dict[int, DiskState] = {}
 
     @property

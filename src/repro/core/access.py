@@ -177,6 +177,70 @@ class DecoderTracker:
         return self.decoder.is_complete
 
 
+#: Cap on sampled points per counter series — traces stay compact while the
+#: report's queue-depth / in-flight histograms keep their shape.
+_COUNTER_SAMPLES = 8
+
+
+def _sample_indices(n: int, cap: int = _COUNTER_SAMPLES) -> np.ndarray:
+    """Up to ``cap`` evenly spaced indices into a length-``n`` series."""
+    if n <= 0:
+        return np.empty(0, dtype=np.int64)
+    if n <= cap:
+        return np.arange(n, dtype=np.int64)
+    return np.unique(np.linspace(0, n - 1, cap).astype(np.int64))
+
+
+def trace_read_access(
+    tracer,
+    scheme_name: str,
+    trial: int,
+    streams: list["DiskStream"],
+    t_open: float,
+    t_done: float,
+    consumed: int,
+    block_bytes: int,
+    data_bytes: int,
+) -> None:
+    """Record the scheme-level view of one read access.
+
+    Emits the open + whole-access spans, samples the client's in-flight
+    block count over the access, and feeds the byte ledger the two numbers
+    the :class:`repro.obs.TraceReport` reconciliation rests on: ``consumed``
+    (bytes the client used) and ``data`` (bytes it asked for).  The
+    ``network`` side of the ledger is accounted in :func:`finalize_read`.
+    """
+    if not tracer.enabled:
+        return
+    tracer.count("scheme.reads")
+    tracer.account_bytes("consumed", consumed * block_bytes)
+    tracer.account_bytes("data", data_bytes)
+    tracer.span("scheme.open", "scheme", 0.0, t_open, track="scheme")
+    name = f"scheme.read:{scheme_name}"
+    if np.isfinite(t_done):
+        tracer.span(
+            name,
+            "scheme",
+            0.0,
+            t_done,
+            track="scheme",
+            args={"trial": trial, "blocks_consumed": consumed},
+        )
+    else:
+        tracer.instant(
+            f"{name}:failed", "scheme", t_open, track="scheme", args={"trial": trial}
+        )
+        tracer.count("scheme.failed_reads")
+    total = sum(int(s.block_ids.size) for s in streams)
+    if total:
+        times = np.sort(np.concatenate([s.arrivals for s in streams]))
+        times = times[np.isfinite(times)]
+        for i in _sample_indices(times.size):
+            tracer.counter(
+                "client.inflight", float(times[i]), total - (i + 1), track="client"
+            )
+
+
 def serve_read_queues(
     cluster: Cluster,
     disk_ids,
@@ -193,6 +257,7 @@ def serve_read_queues(
     disk in stored order.
     """
     streams: list[DiskStream] = []
+    tracer = cluster.tracer
     for idx, disk_id in enumerate(disk_ids):
         disk_id = int(disk_id)
         filer = cluster.filer_of_disk(disk_id)
@@ -206,6 +271,49 @@ def serve_read_queues(
         arrivals = np.empty(blocks.size, dtype=np.float64)
         arrivals[cached] = t_arrive + one_way
         arrivals[~cached] = completions + one_way
+        if tracer.enabled:
+            tracer.span(
+                "filer.request",
+                "filer",
+                t_send,
+                t_arrive,
+                track="filer",
+                args={"disk": disk_id, "blocks": int(blocks.size)},
+            )
+            last = float(completions[-1]) if completions.size else t_arrive
+            if np.isfinite(last):
+                tracer.span(
+                    "drive.queue",
+                    "drive",
+                    t_arrive,
+                    last,
+                    track="drive",
+                    args={
+                        "disk": disk_id,
+                        "queued": n_uncached,
+                        "cached": int(blocks.size) - n_uncached,
+                    },
+                )
+                for i in _sample_indices(completions.size):
+                    tracer.counter(
+                        "drive.queue_depth",
+                        float(completions[i]),
+                        n_uncached - (i + 1),
+                        track="drive",
+                    )
+                if tracer.detail and completions.size:
+                    starts = np.concatenate([[t_arrive], completions[:-1]])
+                    for bid, t0b, t1b in zip(
+                        blocks[~cached], starts, completions
+                    ):
+                        tracer.span(
+                            "drive.block",
+                            "drive",
+                            float(t0b),
+                            float(t1b),
+                            track=f"disk{disk_id}",
+                            args={"block": int(bid)},
+                        )
         streams.append(
             DiskStream(disk_id, blocks, cached, completions, arrivals, one_way)
         )
@@ -289,6 +397,7 @@ def finalize_read(
     network_bytes = 0
     disk_blocks = 0
     cache_hits = 0
+    tracer = cluster.tracer
     for s in streams:
         t_cancel = t_done + s.one_way_s
         served = served_before(s.completions, t_cancel)
@@ -298,6 +407,18 @@ def finalize_read(
         sent = served + n_cached
         nbytes = sent * block_bytes
         network_bytes += nbytes
+        if tracer.enabled:
+            cancelled = int(s.block_ids.size) - sent
+            tracer.account_bytes("network", nbytes)
+            tracer.instant(
+                "scheme.cancel",
+                "scheme",
+                t_cancel,
+                track="scheme",
+                args={"disk": s.disk_id, "sent": sent, "cancelled": cancelled},
+            )
+            if cancelled > 0:
+                tracer.count("scheme.blocks_cancelled_in_queue", cancelled)
         filer = cluster.filer_of_disk(s.disk_id)
         filer.link.account(nbytes)
         # Blocks that came off the platters populate the filesystem cache.
@@ -325,6 +446,7 @@ def simulate_uniform_write(
     """
     t_done = t_send
     network_bytes = 0
+    tracer = cluster.tracer
     for idx, disk_id in enumerate(disk_ids):
         disk_id = int(disk_id)
         filer = cluster.filer_of_disk(disk_id)
@@ -336,6 +458,17 @@ def simulate_uniform_write(
             t_done = max(t_done, float(completions[-1]) + one_way)
         nbytes = blocks.size * block_bytes
         network_bytes += nbytes
+        if tracer.enabled:
+            tracer.account_bytes("network", nbytes)
+            if blocks.size and np.isfinite(completions[-1]):
+                tracer.span(
+                    "drive.write_queue",
+                    "drive",
+                    t_send + one_way,
+                    float(completions[-1]),
+                    track="drive",
+                    args={"disk": disk_id, "blocks": int(blocks.size)},
+                )
         filer.link.account(nbytes)
         filer.record_write(file_name, blocks, block_bytes)
     return t_done, network_bytes

@@ -45,8 +45,13 @@ class SchemeBase:
         self.cluster = cluster
         self.config = config
         self.hub = hub or RngHub(0)
-        self.metadata = metadata or MetadataServer()
+        self.metadata = metadata or MetadataServer(tracer=cluster.tracer)
         self.selector = selector or AccessScheduler(cluster.n_disks)
+
+    @property
+    def tracer(self):
+        """The cluster's tracer (the no-op tracer unless one is installed)."""
+        return self.cluster.tracer
 
     # -- deterministic random streams ------------------------------------------
     def select_disks(self, trial: int) -> np.ndarray:

@@ -15,6 +15,7 @@ from repro.core.access import (
     finalize_read,
     serve_read_queues,
     simulate_uniform_write,
+    trace_read_access,
 )
 from repro.core.base import SchemeBase
 
@@ -70,6 +71,10 @@ class Raid0Scheme(SchemeBase):
         )
         net, disk_blocks, hits = finalize_read(
             streams, self.cluster, t_done, cfg.block_bytes, file_name
+        )
+        trace_read_access(
+            self.tracer, self.name, trial, streams, t0, t_done, consumed,
+            cfg.block_bytes, cfg.data_bytes,
         )
         return AccessResult(
             latency_s=t_done,

@@ -24,6 +24,7 @@ from repro.core.access import (
     decode_tail_s,
     finalize_read,
     serve_read_queues,
+    trace_read_access,
 )
 from repro.core.base import SchemeBase
 from repro.disk.service import served_before
@@ -132,6 +133,28 @@ class RobuStoreScheme(SchemeBase):
         net, disk_blocks, hits = finalize_read(
             streams, self.cluster, t_done, cfg.block_bytes, file_name
         )
+        tracer = self.tracer
+        trace_read_access(
+            tracer, self.name, trial, streams, t0, t_done, consumed,
+            cfg.block_bytes, cfg.data_bytes,
+        )
+        if tracer.enabled and np.isfinite(t_finish):
+            # The decode ripple: last arrival -> decoder-complete tail.
+            tracer.span(
+                "scheme.decode_tail",
+                "scheme",
+                t_finish,
+                t_done,
+                track="scheme",
+                args={"reception_overhead": decoder.reception_overhead},
+            )
+            tracer.instant(
+                "scheme.decode_complete",
+                "scheme",
+                t_finish,
+                track="scheme",
+                args={"blocks_consumed": consumed},
+            )
         return AccessResult(
             latency_s=t_done,
             data_bytes=cfg.data_bytes,
@@ -227,6 +250,25 @@ class RobuStoreScheme(SchemeBase):
             coding=self._coding_descriptor(),
             extra={"graph": graph, "speculative": True},
         )
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.count("scheme.writes")
+            tracer.account_bytes("network", net_bytes)
+            tracer.span(
+                f"scheme.write:{self.name}",
+                "scheme",
+                0.0,
+                t_enough + self.metadata.latency_s,
+                track="scheme",
+                args={
+                    "trial": trial,
+                    "committed": total_committed,
+                    "overshoot": total_committed - target,
+                },
+            )
+            tracer.instant(
+                "scheme.write_cancel", "scheme", t_enough, track="scheme"
+            )
         return AccessResult(
             latency_s=t_enough + self.metadata.latency_s,
             data_bytes=cfg.data_bytes,

@@ -110,6 +110,8 @@ class RRaidAScheme(RRaidSScheme):
         # still to fetch after mid-transfer hand-offs.
         frac: dict[int, float] = {}
 
+        tracer = self.tracer
+
         def serve_batch(run: _DiskRun, ids: list[int], t_start: float) -> None:
             nonlocal blocks_fetched, partial_bytes
             run.version += 1
@@ -138,6 +140,15 @@ class RRaidAScheme(RRaidSScheme):
                 served_by[int(bid)] = runs.index(run)
             blocks_fetched += len(ids)
             run.ready = float(run.completions[-1])
+            if tracer.enabled and np.isfinite(run.ready):
+                tracer.span(
+                    "drive.batch",
+                    "drive",
+                    t_start,
+                    run.ready,
+                    track="drive",
+                    args={"disk": run.disk_id, "blocks": len(ids)},
+                )
             heapq.heappush(events, (run.ready, runs.index(run), run.version))
 
         # Round 1: each block's replica-0 home disk.  Filesystem-cache hits
@@ -184,6 +195,22 @@ class RRaidAScheme(RRaidSScheme):
             b = runs[best_b]
             rounds += 1
             t_cancel = t_dec + b.one_way
+            if tracer.enabled:
+                # Each hand-off opens a new request round (§6.2.1): the
+                # idle thief re-requests part of the victim's queue.
+                tracer.count("scheme.handoffs")
+                tracer.instant(
+                    "scheme.round",
+                    "scheme",
+                    t_dec,
+                    track="scheme",
+                    args={
+                        "round": rounds,
+                        "thief": a.disk_id,
+                        "victim": b.disk_id,
+                        "eligible": len(best_elig),
+                    },
+                )
             done, remaining = b.pending_at(t_cancel)
             inflight = b.inflight_at(t_cancel)
             elig = [x for x in remaining if a_idx in holders(x)]
@@ -269,6 +296,27 @@ class RRaidAScheme(RRaidSScheme):
             self.cluster.filer_of_disk(run.disk_id).link.account(
                 len(run.batch_ids) * cfg.block_bytes
             )
+        if tracer.enabled:
+            tracer.count("scheme.reads")
+            tracer.account_bytes("network", net_bytes)
+            tracer.account_bytes("consumed", consumed * cfg.block_bytes)
+            tracer.account_bytes("data", cfg.data_bytes)
+            tracer.span("scheme.open", "scheme", 0.0, t0, track="scheme")
+            if np.isfinite(t_done):
+                tracer.span(
+                    f"scheme.read:{self.name}",
+                    "scheme",
+                    0.0,
+                    t_done,
+                    track="scheme",
+                    args={
+                        "trial": trial,
+                        "blocks_consumed": consumed,
+                        "rounds": rounds,
+                    },
+                )
+            else:
+                tracer.count("scheme.failed_reads")
 
         return AccessResult(
             latency_s=t_done,

@@ -81,5 +81,16 @@ class SegmentCache:
             (start, end), = self._segments.items()
             self._segments[start] = start + self.capacity_sectors
 
+    def stats(self) -> dict:
+        """Hit/miss/occupancy snapshot (fed to the tracer by the drive)."""
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / total if total else 0.0,
+            "segments": len(self._segments),
+            "used_sectors": self.used_sectors,
+        }
+
     def clear(self) -> None:
         self._segments.clear()

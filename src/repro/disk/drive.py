@@ -24,6 +24,7 @@ from repro.disk.workload import BackgroundWorkload
 from repro.sim import Environment, Event
 
 _req_ids = count()
+_drive_ids = count()
 
 #: Interface (bus) transfer rate for cache hits, bytes/s.
 BUS_RATE_BPS = 100e6
@@ -101,6 +102,8 @@ class DiskDrive:
         self.served_requests = 0
         self.served_bytes = 0
         self.busy_time = 0.0
+        self.tracer = env.tracer
+        self.obs_name = f"drive{next(_drive_ids)}"
         env.process(self._run(), name="disk-drive")
 
     # -- client interface ---------------------------------------------------
@@ -110,6 +113,10 @@ class DiskDrive:
             request.done = self.env.event()
         request.cylinder = int(self.mechanics.geometry.cylinder_of_lba(request.lba))
         self.queue.push(request)
+        if self.tracer.enabled:
+            self.tracer.counter(
+                "drive.queue_depth", self.env.now, len(self.queue), track=self.obs_name
+            )
         if self._wakeup is not None and not self._wakeup.triggered:
             self._wakeup.succeed(None)
         return request
@@ -128,6 +135,15 @@ class DiskDrive:
         for req in removed:
             if req.done is not None and not req.done.triggered:
                 req.done.succeed(None)
+        if removed and self.tracer.enabled:
+            self.tracer.count("drive.cancelled_requests", len(removed))
+            self.tracer.instant(
+                "drive.cancel",
+                "drive",
+                self.env.now,
+                track=self.obs_name,
+                args={"removed": len(removed)},
+            )
         return len(removed)
 
     def utilization(self) -> float:
@@ -165,12 +181,29 @@ class DiskDrive:
                 self._wakeup = None
             req = self.queue.pop(self.current_cylinder)
             self.busy = True
+            t_start = env.now
             service = self._service_time(req)
             yield env.timeout(service)
             self.busy = False
             self.busy_time += service
             self.served_requests += 1
             self.served_bytes += req.bytes
+            if self.tracer.enabled:
+                self.tracer.span(
+                    "drive.service",
+                    "drive",
+                    t_start,
+                    env.now,
+                    track=self.obs_name,
+                    args={
+                        "lba": req.lba,
+                        "sectors": req.sectors,
+                        "background": req.is_background,
+                    },
+                )
+                self.tracer.counter(
+                    "drive.queue_depth", env.now, len(self.queue), track=self.obs_name
+                )
             if req.done is not None and not req.done.triggered:
                 req.done.succeed(env.now)
 
@@ -183,7 +216,11 @@ class DiskDrive:
 
         if self.cache is not None and self.cache.lookup(req.lba, req.sectors):
             # Cache hit: interface-speed transfer, no mechanical work.
+            if self.tracer.enabled:
+                self.tracer.count("drive.cache_hits")
             return t + req.bytes / BUS_RATE_BPS
+        if self.cache is not None and self.tracer.enabled:
+            self.tracer.count("drive.cache_misses")
 
         sequential = self._last_end_lba is not None and req.lba == self._last_end_lba
         if not sequential:

@@ -15,6 +15,11 @@ class RequestQueue:
 
     def __init__(self) -> None:
         self._items: list[Any] = []
+        #: Deepest the queue has ever been (observability: queue-depth
+        #: accounting survives even without a live tracer attached).
+        self.max_depth = 0
+        #: Total requests removed by :meth:`cancel` over the queue's life.
+        self.cancelled_total = 0
 
     def __len__(self) -> int:
         return len(self._items)
@@ -24,6 +29,8 @@ class RequestQueue:
 
     def push(self, request: Any) -> None:
         self._items.append(request)
+        if len(self._items) > self.max_depth:
+            self.max_depth = len(self._items)
 
     def pop(self, head_cylinder: int = 0) -> Any:
         """Remove and return the next request to serve."""
@@ -33,6 +40,7 @@ class RequestQueue:
         """Remove and return all queued requests matching ``predicate``."""
         hit = [r for r in self._items if predicate(r)]
         self._items = [r for r in self._items if not predicate(r)]
+        self.cancelled_total += len(hit)
         return hit
 
     def peek_all(self) -> list[Any]:

@@ -18,6 +18,8 @@ from repro.core.access import AccessConfig, AccessResult
 from repro.disk.workload import InDiskLayout
 from repro.experiments import config as C
 from repro.metrics.stats import MetricSummary, summarize
+from repro.obs.tracer import current_tracer
+from repro.sim.core import Environment
 from repro.sim.rng import RngHub
 
 
@@ -74,10 +76,68 @@ class TrialPlan:
         raise ValueError(f"unknown background mode {self.background!r}")
 
 
-def run_scheme(plan: TrialPlan, scheme_name: str) -> list[AccessResult]:
-    """Run all trials of one scheme under ``plan``."""
+def _run_trial(plan: TrialPlan, scheme, cluster: Cluster, hub: RngHub,
+               scheme_name: str, trial: int) -> AccessResult:
+    """One trial: redraw the environment, run the scheme's access(es).
+
+    Identical between the traced and untraced paths, so installing a tracer
+    never changes simulation results (the RNG stream is untouched).
+    """
+    env_rng = hub.fresh("env", scheme_name, trial)
+    failed = (
+        set(map(int, env_rng.choice(plan.pool, plan.failed_disks, replace=False)))
+        if plan.failed_disks
+        else None
+    )
+    cluster.redraw_disk_states(
+        env_rng,
+        layout=plan.layout,
+        background_intervals=plan.bg_intervals(env_rng),
+        fixed_zone=plan.fixed_zone,
+        failed_disks=failed,
+    )
+    name = f"f-{scheme_name}-{trial}"
+    if plan.mode == "read":
+        scheme.prepare(name, trial)
+        return scheme.read(name, trial)
+    elif plan.mode == "write":
+        return scheme.write(name, trial)
+    elif plan.mode == "raw":
+        scheme.write(name, trial)
+        env_rng2 = hub.fresh("env2", scheme_name, trial)
+        cluster.redraw_disk_states(
+            env_rng2,
+            layout=plan.layout,
+            background_intervals=plan.bg_intervals(env_rng2),
+            fixed_zone=plan.fixed_zone,
+        )
+        # Competing traffic between the write and the later read ages
+        # the shared filesystem caches (§6.3.3).
+        cluster.age_caches(plan.cache_aging_window_s)
+        return scheme.read(name, trial)
+    raise ValueError(f"unknown mode {plan.mode!r}")
+
+
+#: Simulated idle gap between consecutive trials on the traced timeline —
+#: keeps trials visually separate in chrome://tracing.
+TRACE_TRIAL_GAP_S = 0.05
+
+
+def run_scheme(
+    plan: TrialPlan, scheme_name: str, tracer=None
+) -> list[AccessResult]:
+    """Run all trials of one scheme under ``plan``.
+
+    ``tracer`` defaults to the ambient tracer installed with
+    :func:`repro.obs.use_tracer` (the no-op tracer otherwise).  With a live
+    tracer, trials are sequenced by a process on the DES kernel so every
+    trial's events land at a distinct place on one global simulated
+    timeline — and the kernel's own process/event instrumentation appears
+    in the trace alongside drive, filer and scheme spans.
+    """
     if scheme_name not in SCHEMES:
         raise ValueError(f"unknown scheme {scheme_name!r}")
+    tracer = tracer if tracer is not None else current_tracer()
     access = plan.access
     if scheme_name == "raid0":
         access = replace(access, redundancy=0.0)
@@ -88,52 +148,51 @@ def run_scheme(plan: TrialPlan, scheme_name: str) -> list[AccessResult]:
         rtt_s=plan.rtt_s,
         fs_cache_bytes=plan.fs_cache_bytes,
         cache_line_bytes=access.block_bytes,
+        tracer=tracer,
     )
     scheme = SCHEMES[scheme_name](cluster, access, hub=hub)
     results: list[AccessResult] = []
-    for trial in range(plan.trials):
-        env_rng = hub.fresh("env", scheme_name, trial)
-        failed = (
-            set(map(int, env_rng.choice(plan.pool, plan.failed_disks, replace=False)))
-            if plan.failed_disks
-            else None
-        )
-        cluster.redraw_disk_states(
-            env_rng,
-            layout=plan.layout,
-            background_intervals=plan.bg_intervals(env_rng),
-            fixed_zone=plan.fixed_zone,
-            failed_disks=failed,
-        )
-        name = f"f-{scheme_name}-{trial}"
-        if plan.mode == "read":
-            scheme.prepare(name, trial)
-            results.append(scheme.read(name, trial))
-        elif plan.mode == "write":
-            results.append(scheme.write(name, trial))
-        elif plan.mode == "raw":
-            scheme.write(name, trial)
-            env_rng2 = hub.fresh("env2", scheme_name, trial)
-            cluster.redraw_disk_states(
-                env_rng2,
-                layout=plan.layout,
-                background_intervals=plan.bg_intervals(env_rng2),
-                fixed_zone=plan.fixed_zone,
-            )
-            # Competing traffic between the write and the later read ages
-            # the shared filesystem caches (§6.3.3).
-            cluster.age_caches(plan.cache_aging_window_s)
-            results.append(scheme.read(name, trial))
-        else:
-            raise ValueError(f"unknown mode {plan.mode!r}")
+
+    if not tracer.enabled:
+        for trial in range(plan.trials):
+            results.append(_run_trial(plan, scheme, cluster, hub, scheme_name, trial))
+        return results
+
+    # Traced run: a DES driver process advances the virtual clock past each
+    # trial's latency, placing trial t at the global time where trial t-1
+    # ended.  Trial-internal emitters use trial-local times, mapped onto
+    # the global timeline via the tracer offset; the kernel always emits
+    # while offset == base, so its env-relative times line up exactly.
+    base = tracer.offset
+    env = Environment(tracer=tracer)
+
+    def one_trial(trial: int):
+        tracer.offset = base + env.now
+        try:
+            result = _run_trial(plan, scheme, cluster, hub, scheme_name, trial)
+        finally:
+            tracer.offset = base
+        results.append(result)
+        lat = result.latency_s
+        span = lat if np.isfinite(lat) and lat > 0 else 0.0
+        yield env.timeout(span + TRACE_TRIAL_GAP_S)
+
+    def driver():
+        for trial in range(plan.trials):
+            yield env.process(one_trial(trial), name=f"{scheme_name}/trial{trial}")
+
+    env.process(driver(), name=f"run:{scheme_name}")
+    env.run()
+    # Next scheme (or experiment) continues after this run on the timeline.
+    tracer.offset = base + env.now
     return results
 
 
 def run_point(
-    plan: TrialPlan, schemes: Sequence[str] = C.ALL_SCHEMES
+    plan: TrialPlan, schemes: Sequence[str] = C.ALL_SCHEMES, tracer=None
 ) -> dict[str, MetricSummary]:
     """Run every scheme at one configuration point."""
-    return {name: summarize(run_scheme(plan, name)) for name in schemes}
+    return {name: summarize(run_scheme(plan, name, tracer=tracer)) for name in schemes}
 
 
 @dataclass
@@ -187,11 +246,12 @@ def sweep(
     xs: Sequence,
     plan_for,
     schemes: Sequence[str] = C.ALL_SCHEMES,
+    tracer=None,
 ) -> ExperimentResult:
     """Run ``plan_for(x)`` for every x; collect per-scheme series."""
     summaries: dict[str, list[MetricSummary]] = {name: [] for name in schemes}
     for x in xs:
-        point = run_point(plan_for(x), schemes)
+        point = run_point(plan_for(x), schemes, tracer=tracer)
         for name in schemes:
             summaries[name].append(point[name])
     return ExperimentResult(experiment_id, title, x_label, list(xs), summaries)

@@ -5,9 +5,14 @@ Usage::
     python -m repro.experiments fig6_06          # one experiment
     python -m repro.experiments all              # everything
     python -m repro.experiments --list
+    python -m repro.experiments fig6_06 --trace out.json   # Chrome trace
 
 ``REPRO_TRIALS`` / ``REPRO_DATA_MB`` scale run size (paper scale:
-``REPRO_TRIALS=100 REPRO_DATA_MB=1024``).
+``REPRO_TRIALS=100 REPRO_DATA_MB=1024``).  ``--trace`` installs a live
+:class:`repro.obs.Tracer` for the run and writes a Chrome
+``trace_event``-format JSON (open in ``chrome://tracing`` or Perfetto);
+``--trace-detail`` adds per-block spans (large!).  Inspect a written
+trace with ``python -m repro.obs.report out.json``.
 """
 
 from __future__ import annotations
@@ -31,6 +36,16 @@ def main(argv: list[str] | None = None) -> int:
         metavar="DIR",
         help="also write each sweep experiment's series as CSV into DIR",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="record a Chrome trace_event JSON of the run into PATH",
+    )
+    parser.add_argument(
+        "--trace-detail",
+        action="store_true",
+        help="include per-block spans in the trace (much larger output)",
+    )
     args = parser.parse_args(argv)
 
     if args.list or not args.ids:
@@ -44,9 +59,31 @@ def main(argv: list[str] | None = None) -> int:
         print(f"unknown experiment ids: {', '.join(unknown)}", file=sys.stderr)
         return 2
 
+    if args.trace_detail and not args.trace:
+        parser.error("--trace-detail requires --trace")
+
+    tracer = None
+    if args.trace:
+        from repro.obs import Tracer
+
+        try:
+            # Fail before the run, not after it: a long experiment whose
+            # trace can't be written is a wasted run.
+            with open(args.trace, "w"):
+                pass
+        except OSError as exc:
+            parser.error(f"cannot write trace file: {exc}")
+        tracer = Tracer(detail=args.trace_detail)
+
     for exp_id in ids:
         t0 = time.perf_counter()
-        result = REGISTRY[exp_id]()
+        if tracer is not None:
+            from repro.obs import use_tracer
+
+            with use_tracer(tracer):
+                result = REGISTRY[exp_id]()
+        else:
+            result = REGISTRY[exp_id]()
         elapsed = time.perf_counter() - t0
         print(f"\n=== {exp_id} ({elapsed:.1f}s) " + "=" * 40)
         print(result.text())
@@ -54,6 +91,14 @@ def main(argv: list[str] | None = None) -> int:
             path = write_csv(result, exp_id, args.csv)
             if path:
                 print(f"[csv] {path}")
+
+    if tracer is not None:
+        from repro.obs import TraceReport
+
+        tracer.write_chrome(args.trace)
+        print()
+        print(TraceReport.from_tracer(tracer).render())
+        print(f"[trace] {args.trace}")
     return 0
 
 

@@ -25,6 +25,10 @@ class MetricSummary:
     latency_std_s: float
     io_overhead: float
     reception_overhead: float | None = None
+    #: Trials whose access never completed (infinite latency) — excluded
+    #: from the means above but reported explicitly rather than silently
+    #: folded into an ``io_overhead=nan``.
+    failed_trials: int = 0
 
     @property
     def latency_cv(self) -> float:
@@ -34,9 +38,12 @@ class MetricSummary:
     def row(self) -> dict:
         out = {
             "trials": self.n_trials,
+            "failed": self.failed_trials,
             "bw_mbps": round(self.bandwidth_mbps, 2),
+            "bw_std_mbps": round(self.bandwidth_std_mbps, 2),
             "lat_s": round(self.latency_mean_s, 3),
             "lat_std_s": round(self.latency_std_s, 3),
+            "lat_cv": round(self.latency_cv, 3),
             "io_overhead": round(self.io_overhead, 3),
         }
         if self.reception_overhead is not None:
@@ -63,6 +70,7 @@ def summarize(results: list[AccessResult]) -> MetricSummary:
             latency_mean_s=float("inf"),
             latency_std_s=float("inf"),
             io_overhead=float("nan"),
+            failed_trials=len(results),
         )
     ok = [r for r, f in zip(results, finite) if f]
     bw = np.array([r.bandwidth_bps for r in ok]) / MB
@@ -78,4 +86,5 @@ def summarize(results: list[AccessResult]) -> MetricSummary:
         latency_std_s=float(lat_ok.std()),
         io_overhead=float(io.mean()),
         reception_overhead=float(np.mean(rec_vals)) if rec_vals else None,
+        failed_trials=int(len(results) - finite.sum()),
     )

@@ -6,6 +6,7 @@ import heapq
 from itertools import count
 from typing import Any, Generator, Optional
 
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.events import PENDING, AllOf, AnyOf, Event, Process, Timeout
 
 # Scheduling priorities: URGENT events (process initialisation, interrupts)
@@ -45,13 +46,18 @@ class Environment:
     ----------
     initial_time:
         Starting value of the virtual clock (seconds by convention).
+    tracer:
+        Optional :class:`repro.obs.Tracer`; the kernel emits process
+        lifecycle spans and event-dispatch instants through it.  Defaults
+        to the no-op tracer.
     """
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    def __init__(self, initial_time: float = 0.0, tracer=None) -> None:
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
         self._eid = count()
         self._active_proc: Optional[Process] = None
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # -- clock -----------------------------------------------------------
     @property
@@ -74,7 +80,20 @@ class Environment:
 
     def process(self, generator: Generator, name: str | None = None) -> Process:
         """Register ``generator`` as a new simulation process."""
-        return Process(self, generator, name=name)
+        proc = Process(self, generator, name=name)
+        tracer = self.tracer
+        if tracer.enabled:
+            t_start = self._now
+            tracer.instant(
+                f"sim.process.start:{proc.name}", "sim", t_start, track="kernel"
+            )
+            tracer.count("sim.processes_started")
+
+            def _trace_finish(event: Event, _t0: float = t_start, _name: str = proc.name):
+                tracer.span(f"sim.process:{_name}", "sim", _t0, self._now, track="kernel")
+
+            proc.callbacks.append(_trace_finish)
+        return proc
 
     def all_of(self, events) -> Event:
         return AllOf(self, events)
@@ -107,6 +126,11 @@ class Environment:
         callbacks, event.callbacks = event.callbacks, None
         if callbacks is None:
             raise SimulationError(f"{event!r} was scheduled twice")
+        if self.tracer.enabled:
+            self.tracer.count("sim.events_dispatched")
+            self.tracer.instant(
+                f"sim.dispatch:{type(event).__name__}", "sim", self._now, track="kernel"
+            )
         for callback in callbacks:
             callback(event)
 

@@ -1,0 +1,19 @@
+"""Regenerate tests/data/golden_trace.json after a deliberate format change.
+
+Usage::
+
+    PYTHONPATH=src python -m tests.make_golden
+"""
+
+import json
+import pathlib
+
+from tests.test_obs_tracer import build_reference_tracer
+
+if __name__ == "__main__":
+    path = pathlib.Path(__file__).parent / "data" / "golden_trace.json"
+    path.parent.mkdir(exist_ok=True)
+    path.write_text(
+        json.dumps(build_reference_tracer().to_chrome(), indent=1) + "\n"
+    )
+    print(f"wrote {path}")
