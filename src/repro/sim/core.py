@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import heapq
+import math
+import os
 from itertools import count
 from typing import Any, Generator, Optional
 
@@ -50,20 +52,55 @@ class Environment:
         Optional :class:`repro.obs.Tracer`; the kernel emits process
         lifecycle spans and event-dispatch instants through it.  Defaults
         to the no-op tracer.
+    sanitize:
+        Enable the DES causality sanitizer: every ``schedule``/``step``
+        additionally checks for double-scheduling, scheduling onto an
+        already-processed event, time running backwards, and (in
+        :class:`repro.sim.events.Process`) resuming a terminated
+        process.  Violations raise :class:`SimulationError` naming the
+        active process and the timeline position.  ``None`` (default)
+        reads the ``REPRO_SANITIZE`` environment variable.
     """
 
-    def __init__(self, initial_time: float = 0.0, tracer=None) -> None:
+    def __init__(
+        self,
+        initial_time: float = 0.0,
+        tracer=None,
+        sanitize: Optional[bool] = None,
+    ) -> None:
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
         self._eid = count()
         self._active_proc: Optional[Process] = None
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        if sanitize is None:
+            sanitize = os.environ.get("REPRO_SANITIZE", "").strip().lower() in (
+                "1",
+                "true",
+                "yes",
+                "on",
+            )
+        self._sanitize = bool(sanitize)
+        # id()s of events currently sitting in the queue (sanitizer only).
+        # Events in the queue are referenced by it, so ids stay unique
+        # for exactly as long as they are tracked here.
+        self._inflight: Optional[set[int]] = set() if self._sanitize else None
 
     # -- clock -----------------------------------------------------------
     @property
     def now(self) -> float:
         """Current simulated time."""
         return self._now
+
+    @property
+    def sanitize(self) -> bool:
+        """True when the DES causality sanitizer is active."""
+        return self._sanitize
+
+    def _context(self) -> str:
+        """Diagnostic suffix: the active process and timeline position."""
+        proc = self._active_proc.name if self._active_proc is not None else "<none>"
+        return f" (active process={proc}, t={self._now})"
 
     @property
     def active_process(self) -> Optional[Process]:
@@ -103,8 +140,37 @@ class Environment:
 
     # -- scheduling --------------------------------------------------------
     def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
-        """Queue a triggered ``event`` to be processed ``delay`` from now."""
+        """Queue a triggered ``event`` to be processed ``delay`` from now.
+
+        Raises
+        ------
+        SimulationError
+            If ``delay`` is negative, NaN or infinite — such delays would
+            silently corrupt the event-heap ordering, so they are rejected
+            even when the sanitizer is off.
+        """
+        if not 0.0 <= delay < math.inf:  # rejects negative, NaN and inf
+            raise SimulationError(
+                f"cannot schedule {event!r} with delay {delay!r}: delays "
+                f"must be finite and non-negative{self._context()}"
+            )
+        if self._inflight is not None:
+            self._sanitize_schedule(event)
         heapq.heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+        if self._inflight is not None:
+            self._inflight.add(id(event))
+
+    def _sanitize_schedule(self, event: Event) -> None:
+        if event.callbacks is None:
+            raise SimulationError(
+                f"sanitizer: scheduling already-processed event {event!r}; "
+                f"its callbacks have run and will not run again{self._context()}"
+            )
+        if id(event) in self._inflight:
+            raise SimulationError(
+                f"sanitizer: {event!r} is already scheduled; double-scheduling "
+                f"would dispatch its callbacks twice{self._context()}"
+            )
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none remain."""
@@ -119,9 +185,17 @@ class Environment:
             If no events remain.
         """
         try:
-            self._now, _, _, event = heapq.heappop(self._queue)
+            t, _, _, event = heapq.heappop(self._queue)
         except IndexError:
             raise EmptySchedule() from None
+        if self._inflight is not None:
+            self._inflight.discard(id(event))
+            if t < self._now:
+                raise SimulationError(
+                    f"sanitizer: causality violation — {event!r} due at t={t} "
+                    f"popped after the clock reached t={self._now}"
+                )
+        self._now = t
 
         callbacks, event.callbacks = event.callbacks, None
         if callbacks is None:
@@ -165,7 +239,7 @@ class Environment:
                 until_event._ok = True
                 until_event._value = None
                 # Urgent so that events *at* the stop time do not run.
-                heapq.heappush(self._queue, (at, URGENT, next(self._eid), until_event))
+                self.schedule(until_event, URGENT, at - self._now)
                 until_event.callbacks.append(_stop_simulate)
 
         try:

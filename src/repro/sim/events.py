@@ -98,12 +98,12 @@ class Timeout(Event):
     __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
-        if delay < 0:
-            raise ValueError(f"negative delay {delay}")
         super().__init__(env)
         self.delay = delay
         self._ok = True
         self._value = value
+        # Negative/NaN/inf delays are rejected by ``Environment.schedule``
+        # with a SimulationError naming the active process.
         env.schedule(self, delay=delay)
 
 
@@ -174,6 +174,13 @@ class Process(Event):
 
     def _resume(self, event: Event) -> None:
         env = self.env
+        if env._sanitize and self._value is not PENDING:
+            from repro.sim.core import SimulationError
+
+            raise SimulationError(
+                f"sanitizer: process {self.name} resumed by {event!r} after "
+                f"it already terminated (t={env.now})"
+            )
         env._active_proc = self
         while True:
             try:

@@ -39,10 +39,12 @@ class ThrottledEnvironment(Environment):
         max_sleep_s: float = 0.25,
         sleep=time.sleep,
         clock=time.perf_counter,
+        tracer=None,
+        sanitize=None,
     ) -> None:
         if speedup <= 0:
             raise ValueError("speedup must be positive")
-        super().__init__(initial_time)
+        super().__init__(initial_time, tracer=tracer, sanitize=sanitize)
         self.speedup = speedup
         self.max_sleep_s = max_sleep_s
         self._sleep = sleep

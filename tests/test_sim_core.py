@@ -34,8 +34,16 @@ def test_timeout_value():
 
 def test_negative_delay_rejected():
     env = Environment()
-    with pytest.raises(ValueError):
+    with pytest.raises(SimulationError, match="finite and non-negative"):
         env.timeout(-1)
+
+
+def test_nan_delay_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError, match="finite and non-negative"):
+        env.timeout(float("nan"))
+    with pytest.raises(SimulationError, match="finite and non-negative"):
+        env.timeout(float("inf"))
 
 
 def test_run_until_time_stops_clock():
@@ -50,7 +58,7 @@ def test_run_until_time_stops_clock():
     env.process(ticker(env))
     env.run(until=3.5)
     assert fired == [1.0, 2.0, 3.0]
-    assert env.now == 3.5
+    assert env.now == 3.5  # lint: disable=SIM003 -- exact: timeout delays are exact in the DES kernel
 
 
 def test_run_until_event_returns_value():
@@ -62,7 +70,7 @@ def test_run_until_event_returns_value():
 
     p = env.process(proc(env))
     assert env.run(until=p) == 42
-    assert env.now == 4.0
+    assert env.now == 4.0  # lint: disable=SIM003 -- exact: timeout delays are exact in the DES kernel
 
 
 def test_event_at_until_time_does_not_run():
@@ -230,7 +238,7 @@ def test_all_of_collects_values():
     p = env.process(proc(env))
     env.run()
     assert p.value == ["a", "b"]
-    assert env.now == 2.0
+    assert env.now == 2.0  # lint: disable=SIM003 -- exact: timeout delays are exact in the DES kernel
 
 
 def test_any_of_fires_on_first():
@@ -245,7 +253,7 @@ def test_any_of_fires_on_first():
     p = env.process(proc(env))
     env.run(until=p)
     assert p.value == ["fast"]
-    assert env.now == 1.0
+    assert env.now == 1.0  # lint: disable=SIM003 -- exact: timeout delays are exact in the DES kernel
 
 
 def test_empty_all_of_fires_immediately():

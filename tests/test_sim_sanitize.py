@@ -1,0 +1,123 @@
+"""Tests for the runtime DES causality sanitizer and the delay guards."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Environment, SimulationError
+
+
+# ---------------------------------------------------------------------------
+# always-on guards (sanitizer off)
+
+
+def test_schedule_rejects_negative_delay_without_sanitizer():
+    env = Environment(sanitize=False)
+    with pytest.raises(SimulationError, match="finite and non-negative"):
+        env.schedule(env.event(), delay=-0.5)
+
+
+def test_schedule_rejects_nan_and_inf_without_sanitizer():
+    env = Environment(sanitize=False)
+    for bad in (float("nan"), float("inf")):
+        with pytest.raises(SimulationError, match="finite and non-negative"):
+            env.schedule(env.event(), delay=bad)
+
+
+def test_back_in_time_schedule_names_offending_process():
+    env = Environment(sanitize=True)
+
+    def rogue(env):
+        yield env.timeout(-3.0)
+
+    env.process(rogue(env), name="rogue-reader")
+    with pytest.raises(SimulationError) as exc:
+        env.run()
+    assert "rogue-reader" in str(exc.value)
+    assert "t=0.0" in str(exc.value)
+
+
+# ---------------------------------------------------------------------------
+# sanitizer-only checks
+
+
+def test_sanitizer_flag_from_environment_variable(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    assert Environment().sanitize is True
+    monkeypatch.setenv("REPRO_SANITIZE", "0")
+    assert Environment().sanitize is False
+    monkeypatch.delenv("REPRO_SANITIZE")
+    assert Environment().sanitize is False
+    # Explicit argument wins over the environment.
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    assert Environment(sanitize=False).sanitize is False
+
+
+def test_sanitizer_rejects_double_schedule():
+    env = Environment(sanitize=True)
+    ev = env.event()
+    ev.succeed("once")
+    with pytest.raises(SimulationError, match="already scheduled"):
+        env.schedule(ev)
+
+
+def test_sanitizer_rejects_scheduling_processed_event():
+    env = Environment(sanitize=True)
+    t = env.timeout(1.0)
+    env.run()
+    with pytest.raises(SimulationError, match="already-processed"):
+        env.schedule(t)
+
+
+def test_sanitizer_detects_backwards_clock():
+    env = Environment(sanitize=True)
+    env.timeout(1.0)
+    env._now = 5.0  # simulate a corrupted clock
+    with pytest.raises(SimulationError, match="causality violation"):
+        env.step()
+
+
+def test_sanitizer_rejects_resume_after_termination():
+    env = Environment(sanitize=True)
+
+    def quick(env):
+        yield env.timeout(1)
+
+    p = env.process(quick(env), name="quick-proc")
+    env.run()
+    done = env.event()
+    done.succeed()
+    with pytest.raises(SimulationError, match="quick-proc"):
+        p._resume(done)
+
+
+def test_unsanitized_double_schedule_still_caught_at_step():
+    # Without the sanitizer the kernel keeps its (lazier) detection: the
+    # second dispatch of the same event raises at step time.
+    env = Environment(sanitize=False)
+    ev = env.event()
+    ev.succeed("once")
+    env.schedule(ev)
+    with pytest.raises((SimulationError, RuntimeError)):
+        env.run()
+
+
+# ---------------------------------------------------------------------------
+# the sanitizer does not perturb results
+
+
+def test_sanitizer_does_not_change_simulation_results():
+    def run_once(sanitize: bool):
+        env = Environment(sanitize=sanitize)
+        log = []
+
+        def ticker(env):
+            for i in range(5):
+                yield env.timeout(0.5 + 0.25 * i)
+                log.append(env.now)
+
+        env.process(ticker(env))
+        env.run()
+        return log
+
+    assert run_once(True) == run_once(False)
