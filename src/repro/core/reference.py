@@ -33,6 +33,7 @@ from repro.disk.drive import DiskDrive, DiskRequest
 from repro.disk.geometry import SECTOR_BYTES
 from repro.disk.mechanics import DiskMechanics
 from repro.disk.workload import BackgroundWorkload
+from repro.sim.rng import stable_seed
 from repro.sim import Environment, Store
 
 
@@ -83,7 +84,7 @@ class ReferenceDrive:
             self.drive.attach_background(
                 BackgroundWorkload(
                     state.background.interval_s,
-                    np.random.default_rng(hash((disk_id, "bg")) % 2**31),
+                    np.random.default_rng(stable_seed(disk_id, "bg")),
                 )
             )
 

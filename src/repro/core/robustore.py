@@ -28,6 +28,7 @@ from repro.core.access import (
 )
 from repro.core.base import SchemeBase
 from repro.disk.service import served_before
+from repro.sim.rng import stable_seed
 
 #: Distinct graphs rotated across trials, mimicking per-simulation graph
 #: regeneration at bounded cost.
@@ -58,7 +59,7 @@ def pooled_graph(
     idx = trial % pool_size
     while len(graphs) <= idx:
         code = ImprovedLTCode(k, c=c, delta=delta)
-        rng = np.random.default_rng(abs(hash(key)) % (2**31) + len(graphs))
+        rng = np.random.default_rng(stable_seed("graph-pool", *key, len(graphs)))
         if checked:
             graphs.append(code.build_graph(n, rng))
         else:

@@ -9,7 +9,41 @@ never perturbs the draws of existing ones.
 
 from __future__ import annotations
 
+import struct
+
 import numpy as np
+
+
+def _fnv32(data: bytes, h: int = 2166136261) -> int:
+    """FNV-1a fold of ``data`` into 32 bits (process-independent)."""
+    for byte in data:
+        h = ((h ^ byte) * 16777619) & 0xFFFFFFFF
+    return h
+
+
+def stable_seed(*parts) -> int:
+    """Fold ``parts`` into a stable 32-bit RNG seed.
+
+    Unlike builtin ``hash`` — whose value for strings is salted per
+    process by ``PYTHONHASHSEED`` and whose value for numbers depends on
+    the platform word size — the result here depends only on ``parts``:
+    the same key always produces the same seed, in every process, on
+    every platform.  Use this (or an :class:`RngHub` stream) whenever a
+    component needs to derive a seed from identifying data.
+    """
+    h = 2166136261
+    for part in parts:
+        if isinstance(part, bool):
+            data = b"\x01" if part else b"\x00"
+        elif isinstance(part, (int, np.integer)):
+            data = (int(part) & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "little")
+        elif isinstance(part, float):
+            data = struct.pack("<d", part)
+        else:
+            data = str(part).encode()
+        # Separate parts so ("ab",) and ("a", "b") fold differently.
+        h = _fnv32(data, _fnv32(b"\x1f", h))
+    return h
 
 
 class RngHub:
@@ -65,10 +99,7 @@ class RngHub:
             if isinstance(part, (int, np.integer)):
                 words.append(int(part) & 0xFFFFFFFF)
             else:
-                h = 2166136261
-                for ch in str(part).encode():
-                    h = ((h ^ ch) * 16777619) & 0xFFFFFFFF
-                words.append(h)
+                words.append(_fnv32(str(part).encode()))
         return np.random.SeedSequence(words)
 
     def spawn(self, *key) -> "RngHub":
