@@ -20,6 +20,13 @@ Subpackages
     Bandwidth / latency-variation / I/O-overhead metrics.
 ``repro.experiments``
     Harness regenerating every table and figure of the evaluation chapter.
+``repro.obs``
+    Event tracing: spans/counters on the simulated clock, Chrome trace
+    export, aggregated trace reports.
+``repro.lint``
+    Simulator-aware static analysis (rules SIM001-SIM006) enforcing the
+    determinism conventions; the runtime complement is the DES causality
+    sanitizer in ``repro.sim`` (``REPRO_SANITIZE=1``).
 """
 
 __version__ = "1.0.0"

@@ -1,0 +1,115 @@
+"""Command-line front end: ``python -m repro.lint [paths...]``.
+
+Exit codes: 0 — clean (warnings allowed); 1 — at least one error-severity
+finding; 2 — usage error.  ``--format json`` emits a machine-readable
+report (schema below) for CI; the default human format is one
+``path:line:col: RULE [severity] message`` line per finding.
+
+JSON schema (``--format json``)::
+
+    {
+      "version": 1,
+      "findings": [
+        {"rule": "SIM001", "severity": "error", "path": "...",
+         "line": 12, "col": 5, "message": "..."},
+        ...
+      ],
+      "counts": {"error": 2, "warning": 0},
+      "files_checked": 83
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.lint.engine import Severity, all_rules, iter_py_files, lint_paths
+
+#: Schema version of the JSON report.
+JSON_VERSION = 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Simulator-aware static analysis for the RobuSTore repro.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def _report(findings, n_files: int, fmt: str, out) -> None:
+    counts = {
+        "error": sum(1 for f in findings if f.severity is Severity.ERROR),
+        "warning": sum(1 for f in findings if f.severity is Severity.WARNING),
+    }
+    if fmt == "json":
+        json.dump(
+            {
+                "version": JSON_VERSION,
+                "findings": [f.to_dict() for f in findings],
+                "counts": counts,
+                "files_checked": n_files,
+            },
+            out,
+            indent=2,
+        )
+        out.write("\n")
+        return
+    for finding in findings:
+        out.write(finding.render() + "\n")
+    summary = (
+        f"{counts['error']} error(s), {counts['warning']} warning(s) "
+        f"in {n_files} file(s)"
+    )
+    out.write(("" if not findings else "\n") + summary + "\n")
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    rules = all_rules()
+    if args.list_rules:
+        for rule in rules.values():
+            out.write(f"{rule.id} [{rule.severity.value}] {rule.summary}\n")
+        return 0
+
+    select = None
+    if args.select:
+        select = [r.strip() for r in args.select.split(",") if r.strip()]
+        unknown = [r for r in select if r not in rules]
+        if unknown:
+            parser.error(f"unknown rule id(s): {', '.join(unknown)}")
+
+    files = list(iter_py_files(args.paths))
+    if not files:
+        parser.error(f"no .py files found under: {' '.join(map(str, args.paths))}")
+    findings = lint_paths(files, select)
+    _report(findings, len(files), args.format, out)
+    return 1 if any(f.severity is Severity.ERROR for f in findings) else 0

@@ -1,0 +1,245 @@
+"""Rule registry, findings, pragma handling and the file walker.
+
+A *rule* is a callable taking a :class:`FileContext` and yielding
+:class:`Finding` objects.  Rules self-register through the :func:`rule`
+decorator; the CLI (:mod:`repro.lint.cli`) runs every registered rule
+over every ``.py`` file under the given paths.
+
+Suppression: a ``# lint: disable=SIM001`` comment on the finding's line
+silences that rule there (comma-separate several ids; ``all`` silences
+everything on the line).  Suppressions are line-scoped on purpose — a
+justification comment belongs next to the code it excuses.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator, Optional
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; only errors affect the exit code."""
+
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    rule: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} [{self.severity.value}] {self.message}"
+        )
+
+    @property
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered check: metadata plus the callable that runs it."""
+
+    id: str
+    severity: Severity
+    summary: str
+    check: Callable[["FileContext"], Iterator[Finding]]
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def rule(rule_id: str, severity: Severity, summary: str):
+    """Register ``fn`` as the check for ``rule_id``.
+
+    ``fn(ctx)`` receives a :class:`FileContext` and yields
+    ``(node_or_line, message)`` pairs or :class:`Finding` objects; pairs
+    are wrapped into findings carrying the rule's id and severity.
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        if rule_id in _REGISTRY:
+            raise ValueError(f"duplicate lint rule id {rule_id!r}")
+        _REGISTRY[rule_id] = Rule(rule_id, severity, summary, fn)
+        return fn
+
+    return decorate
+
+
+def all_rules() -> dict[str, Rule]:
+    """The registered rules, keyed by id (import-order stable)."""
+    return dict(_REGISTRY)
+
+
+#: ``# lint: disable=SIM001`` / ``# lint: disable=SIM001,SIM005`` / ``=all``
+_PRAGMA_RE = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+def _parse_pragmas(lines: list[str]) -> dict[int, set[str]]:
+    disabled: dict[int, set[str]] = {}
+    for lineno, text in enumerate(lines, start=1):
+        if "lint:" not in text:
+            continue
+        m = _PRAGMA_RE.search(text)
+        if m:
+            ids = {part.strip() for part in m.group(1).split(",") if part.strip()}
+            disabled.setdefault(lineno, set()).update(ids)
+    return disabled
+
+
+class FileContext:
+    """Parsed view of one source file handed to every rule.
+
+    Exposes the AST, a child->parent map (for guard/ancestry checks), the
+    raw lines, the path split into parts (for scope decisions like
+    "only under ``src/repro``") and pragma bookkeeping.
+    """
+
+    def __init__(self, path: str | Path, source: str) -> None:
+        self.path = Path(path)
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=str(path))
+        self.disabled = _parse_pragmas(self.lines)
+        self._parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+
+    # -- path scope ------------------------------------------------------
+    @property
+    def parts(self) -> tuple[str, ...]:
+        return self.path.parts
+
+    def under_repro(self) -> bool:
+        """True for files in the simulator package (``src/repro/...``)."""
+        return "repro" in self.parts
+
+    def in_packages(self, *names: str) -> bool:
+        """True if the file lives under ``repro/<name>/`` for any name."""
+        parts = self.parts
+        if "repro" not in parts:
+            return False
+        tail = parts[parts.index("repro") + 1 :]
+        return any(name in tail[:-1] for name in names)
+
+    # -- AST helpers -----------------------------------------------------
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        cur = self._parents.get(node)
+        while cur is not None:
+            yield cur
+            cur = self._parents.get(cur)
+
+    def walk(self, types: tuple = ()) -> Iterator[ast.AST]:
+        for node in ast.walk(self.tree):
+            if not types or isinstance(node, types):
+                yield node
+
+    # -- suppression -----------------------------------------------------
+    def is_disabled(self, rule_id: str, line: int) -> bool:
+        ids = self.disabled.get(line)
+        return bool(ids) and (rule_id in ids or "all" in ids)
+
+
+def _as_finding(rule_obj: Rule, ctx: FileContext, item) -> Finding:
+    if isinstance(item, Finding):
+        return item
+    node, message = item
+    if isinstance(node, ast.AST):
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) + 1
+    else:
+        line, col = int(node), 1
+    return Finding(
+        rule=rule_obj.id,
+        severity=rule_obj.severity,
+        path=str(ctx.path),
+        line=line,
+        col=col,
+        message=message,
+    )
+
+
+def lint_source(
+    source: str,
+    path: str | Path = "<string>",
+    select: Optional[Iterable[str]] = None,
+) -> list[Finding]:
+    """Run the (selected) rules over one source string."""
+    try:
+        ctx = FileContext(path, source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="SYNTAX",
+                severity=Severity.ERROR,
+                path=str(path),
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) or 1,
+                message=f"cannot parse: {exc.msg}",
+            )
+        ]
+    wanted = set(select) if select is not None else None
+    findings: list[Finding] = []
+    for rule_obj in _REGISTRY.values():
+        if wanted is not None and rule_obj.id not in wanted:
+            continue
+        for item in rule_obj.check(ctx):
+            finding = _as_finding(rule_obj, ctx, item)
+            if not ctx.is_disabled(finding.rule, finding.line):
+                findings.append(finding)
+    findings.sort(key=lambda f: f.sort_key)
+    return findings
+
+
+def lint_file(path: str | Path, select: Optional[Iterable[str]] = None) -> list[Finding]:
+    text = Path(path).read_text(encoding="utf-8")
+    return lint_source(text, path, select)
+
+
+def iter_py_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into a deterministic list of ``.py`` files."""
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            yield from sorted(q for q in p.rglob("*.py") if q.is_file())
+        elif p.suffix == ".py" and p.is_file():
+            yield p
+
+
+def lint_paths(
+    paths: Iterable[str | Path], select: Optional[Iterable[str]] = None
+) -> list[Finding]:
+    """Lint every ``.py`` file under ``paths``; findings come back sorted."""
+    findings: list[Finding] = []
+    for path in iter_py_files(paths):
+        findings.extend(lint_file(path, select))
+    findings.sort(key=lambda f: f.sort_key)
+    return findings
