@@ -106,6 +106,8 @@ class Cluster:
                 StorageServer(f, ids, Link(rtt_s=rtt_s), cache, tracer=self.tracer)
             )
         self._disk_states: dict[int, DiskState] = {}
+        #: Active :class:`repro.faults.inject.FaultInjector`, or ``None``.
+        self.faults = None
 
     @property
     def n_filers(self) -> int:
@@ -148,11 +150,48 @@ class Cluster:
     def disk_state(self, disk_id: int) -> DiskState:
         return self._disk_states[disk_id]
 
+    # -- fault injection --------------------------------------------------------
+    def install_faults(self, plan) -> None:
+        """Install a :class:`repro.faults.plan.FaultPlan` (or ``None`` to clear).
+
+        Compiles the plan against this cluster's topology and exposes the
+        resulting injector as ``self.faults``; subsequent
+        :meth:`block_service` calls hand each disk its fault timeline and
+        the access machinery routes messages through the link timelines.
+        Installing ``None`` or an empty plan restores bit-identical
+        unfaulted behaviour.
+        """
+        if plan is None:
+            self.faults = None
+            return
+        # Imported lazily: repro.faults.inject reaches back into repro.core.
+        from repro.faults.inject import FaultInjector
+
+        injector = FaultInjector(self, plan)
+        self.faults = injector if injector.has_faults else None
+
+    def clear_faults(self) -> None:
+        self.faults = None
+
+    def disk_timeline(self, disk_id: int):
+        """The disk's fault timeline under the active injector (or ``None``)."""
+        return None if self.faults is None else self.faults.timeline(disk_id)
+
+    def link_timeline(self, disk_id: int):
+        """The fault timeline of the link serving ``disk_id`` (or ``None``)."""
+        return None if self.faults is None else self.faults.link_for_disk(disk_id)
+
     def block_service(self, disk_id: int, rng: np.random.Generator) -> BlockService:
         """A vectorised service model bound to the disk's current state."""
         st = self._disk_states[disk_id]
         return BlockService(
-            self.mechanics, st.layout, st.spt, rng, st.background, failed=st.failed
+            self.mechanics,
+            st.layout,
+            st.spt,
+            rng,
+            st.background,
+            failed=st.failed,
+            timeline=self.disk_timeline(disk_id),
         )
 
     def age_caches(self, window_s: float) -> None:

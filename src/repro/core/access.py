@@ -31,6 +31,30 @@ MB = 1 << 20
 DECODE_BANDWIDTH_BPS = 500e6
 
 
+def request_arrival_time(
+    cluster: "Cluster", disk_id: int, t_send: float, one_way_s: float
+) -> float:
+    """When a request sent at ``t_send`` reaches the disk's filer.
+
+    Routes through the link's fault timeline when one is active (added
+    latency inside a degradation window, deferral across a filer-crash
+    blackout); otherwise the plain one-way hop — same arithmetic, so
+    unfaulted runs stay bit-identical.
+    """
+    lt = cluster.link_timeline(disk_id)
+    if lt is None:
+        return t_send + one_way_s
+    return lt.request_arrival(t_send, one_way_s)
+
+
+def response_arrival_times(cluster: "Cluster", disk_id: int, ready, one_way_s: float):
+    """Client arrival time(s) for payload(s) ready at the filer at ``ready``."""
+    lt = cluster.link_timeline(disk_id)
+    if lt is None:
+        return ready + one_way_s
+    return lt.response_arrivals(ready, one_way_s)
+
+
 @dataclass(frozen=True)
 class AccessConfig:
     """Parameters of one storage access (the §6.2.5 baseline by default).
@@ -263,14 +287,16 @@ def serve_read_queues(
         filer = cluster.filer_of_disk(disk_id)
         blocks = np.asarray(placement[idx], dtype=np.int64)
         one_way = filer.link.one_way_s
-        t_arrive = t_send + one_way
+        t_arrive = request_arrival_time(cluster, disk_id, t_send, one_way)
         cached = filer.cached_blocks(file_name, blocks)
         n_uncached = int(np.count_nonzero(~cached))
         svc = cluster.block_service(disk_id, rng_for(disk_id))
         completions = svc.serve(n_uncached, block_bytes, t_arrive)
         arrivals = np.empty(blocks.size, dtype=np.float64)
-        arrivals[cached] = t_arrive + one_way
-        arrivals[~cached] = completions + one_way
+        arrivals[cached] = response_arrival_times(cluster, disk_id, t_arrive, one_way)
+        arrivals[~cached] = response_arrival_times(
+            cluster, disk_id, completions, one_way
+        )
         if tracer.enabled:
             tracer.span(
                 "filer.request",
@@ -442,7 +468,9 @@ def simulate_uniform_write(
 
     RAID-0 / RRAID-S / RRAID-A writes are uniform: completion is gated by
     the slowest disk (§6.3.1).  Returns (completion time at client, bytes
-    over the network).  Write-through populates the filesystem caches.
+    over the network); the completion time is ``inf`` when any written-to
+    disk fail-stops before committing (the write never fully acks).
+    Write-through populates the filesystem caches.
     """
     t_done = t_send
     network_bytes = 0
@@ -453,9 +481,13 @@ def simulate_uniform_write(
         blocks = np.asarray(placement[idx], dtype=np.int64)
         one_way = filer.link.one_way_s
         svc = cluster.block_service(disk_id, rng_for(disk_id))
-        completions = svc.serve(blocks.size, block_bytes, t_send + one_way)
+        t_arrive = request_arrival_time(cluster, disk_id, t_send, one_way)
+        completions = svc.serve(blocks.size, block_bytes, t_arrive)
         if blocks.size:
-            t_done = max(t_done, float(completions[-1]) + one_way)
+            ack = response_arrival_times(
+                cluster, disk_id, float(completions[-1]), one_way
+            )
+            t_done = max(t_done, float(ack))
         nbytes = blocks.size * block_bytes
         network_bytes += nbytes
         if tracer.enabled:
@@ -464,7 +496,7 @@ def simulate_uniform_write(
                 tracer.span(
                     "drive.write_queue",
                     "drive",
-                    t_send + one_way,
+                    t_arrive,
                     float(completions[-1]),
                     track="drive",
                     args={"disk": disk_id, "blocks": int(blocks.size)},

@@ -48,12 +48,22 @@ class RepairReport:
 
 
 def failed_positions(scheme: RobuStoreScheme, file_name: str) -> list[int]:
-    """Placement positions whose disks are currently failed."""
+    """Placement positions whose disks are currently failed.
+
+    Covers both per-trial erasure state (``DiskState.failed``) and disks a
+    fault plan permanently fail-stopped mid-run
+    (:meth:`repro.faults.inject.FaultInjector.permanently_failed`).
+    """
     record = scheme.metadata.lookup(file_name)
+    injector = scheme.cluster.faults
+
+    def is_dead(d: int) -> bool:
+        if scheme.cluster.disk_state(d).failed:
+            return True
+        return injector is not None and injector.permanently_failed(d)
+
     return [
-        idx
-        for idx, d in enumerate(record.disk_ids)
-        if scheme.cluster.disk_state(int(d)).failed
+        idx for idx, d in enumerate(record.disk_ids) if is_dead(int(d))
     ]
 
 

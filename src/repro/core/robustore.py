@@ -23,11 +23,14 @@ from repro.core.access import (
     completion_with_order,
     decode_tail_s,
     finalize_read,
+    request_arrival_time,
+    response_arrival_times,
     serve_read_queues,
     trace_read_access,
 )
 from repro.core.base import SchemeBase
 from repro.disk.service import served_before
+from repro.faults.inject import surviving_blocks
 from repro.sim.rng import stable_seed
 
 #: Distinct graphs rotated across trials, mimicking per-simulation graph
@@ -80,6 +83,12 @@ class RobuStoreScheme(SchemeBase):
     #: the calibrated pool) so fast disks never idle mid-write (§5.3.2).
     WRITE_SUPPLY_FACTOR = 8
 
+    #: When permanent fail-stops push a file's surviving redundancy below
+    #: this fraction of the configured degree, reads flag the file for a
+    #: background rebuild (``extra["repair_triggered"]``;
+    #: :func:`repro.faults.inject.maybe_repair` acts on it).
+    REPAIR_REDUNDANCY_FLOOR = 0.5
+
     def _graph(self, trial: int, n: int | None = None) -> LTGraph:
         cfg = self.config
         return pooled_graph(
@@ -130,6 +139,23 @@ class RobuStoreScheme(SchemeBase):
         t_finish, consumed, order = completion_with_order(
             streams, DecoderTracker(decoder), cfg.block_bytes, cfg.client_bandwidth_bps
         )
+        rounds = 1
+        if not np.isfinite(t_finish) and self.cluster.faults is not None:
+            # Mid-read faults stalled the decode: re-speculate on the
+            # surviving (or recovered) disks and merge the second round.
+            retry = self._respeculate(streams, trial, file_name)
+            if retry is not None:
+                streams = streams + retry
+                decoder = PeelingDecoder(graph)
+                t_finish, consumed, order = completion_with_order(
+                    streams,
+                    DecoderTracker(decoder),
+                    cfg.block_bytes,
+                    cfg.client_bandwidth_bps,
+                )
+                rounds = 2
+                if self.tracer.enabled:
+                    self.tracer.count("scheme.respeculations")
         t_done = t_finish + decode_tail_s(cfg.block_bytes)
         net, disk_blocks, hits = finalize_read(
             streams, self.cluster, t_done, cfg.block_bytes, file_name
@@ -156,6 +182,29 @@ class RobuStoreScheme(SchemeBase):
                 track="scheme",
                 args={"blocks_consumed": consumed},
             )
+        extra = {
+            "reception_overhead": decoder.reception_overhead,
+            # The coded-block ids the client consumed, in arrival order
+            # — the data-path API replays real payload decoding with it.
+            "arrival_order": order,
+        }
+        injector = self.cluster.faults
+        if injector is not None:
+            surviving = surviving_blocks(injector, record)
+            surv_red = surviving / cfg.k - 1.0
+            extra["surviving_redundancy"] = surv_red
+            extra["repair_triggered"] = bool(
+                surv_red < self.REPAIR_REDUNDANCY_FLOOR * cfg.redundancy
+            )
+            if extra["repair_triggered"] and tracer.enabled:
+                tracer.count("scheme.repairs_triggered")
+                tracer.instant(
+                    "scheme.repair_trigger",
+                    "scheme",
+                    t_done if np.isfinite(t_done) else t0,
+                    track="scheme",
+                    args={"surviving_redundancy": surv_red},
+                )
         return AccessResult(
             latency_s=t_done,
             data_bytes=cfg.data_bytes,
@@ -163,12 +212,60 @@ class RobuStoreScheme(SchemeBase):
             disk_blocks=disk_blocks,
             blocks_received=consumed,
             cache_hits=hits,
-            extra={
-                "reception_overhead": decoder.reception_overhead,
-                # The coded-block ids the client consumed, in arrival order
-                # — the data-path API replays real payload decoding with it.
-                "arrival_order": order,
-            },
+            rounds=rounds,
+            extra=extra,
+        )
+
+    def _respeculate(self, streams, trial: int, file_name: str):
+        """Build the second-round streams after a fault-stalled decode.
+
+        The client notices the stall once every finite round-1 arrival has
+        drained without completing the decode.  Blocks whose arrivals never
+        materialised are re-requested from their disks — skipping disks that
+        are permanently gone, and waiting for the next recovery when every
+        stalled disk is still down at the stall instant.  Returns ``None``
+        when no disk can serve a second round (the read genuinely fails).
+        """
+        cfg = self.config
+        injector = self.cluster.faults
+        t0 = self.open_latency()
+        pending: dict[int, list[int]] = {}
+        for s in streams:
+            pend = s.block_ids[~np.isfinite(s.arrivals)]
+            if pend.size and not injector.permanently_failed(s.disk_id):
+                pending[s.disk_id] = [int(b) for b in pend]
+        if not pending:
+            return None
+        # The client observes the stall no earlier than (a) its last finite
+        # arrival and (b) the fail-stop that flushed each pending queue; it
+        # re-requests once every pending disk has restarted.
+        finite = [s.arrivals[np.isfinite(s.arrivals)] for s in streams]
+        finite = np.concatenate(finite) if finite else np.empty(0)
+        t_retry = float(finite.max()) if finite.size else t0
+        for d in pending:
+            tl = injector.timeline(d)
+            flush = tl.next_fail_after(t0)
+            if np.isfinite(flush):
+                t_retry = max(t_retry, tl.resume_time(flush))
+        disks = [d for d in sorted(pending) if not injector.down_at(d, t_retry)]
+        if not disks:
+            return None
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "scheme.respeculate",
+                "scheme",
+                t_retry,
+                track="scheme",
+                args={"disks": len(disks), "blocks": sum(len(pending[d]) for d in disks)},
+            )
+        return serve_read_queues(
+            self.cluster,
+            disks,
+            [pending[d] for d in disks],
+            cfg.block_bytes,
+            t_retry,
+            self.service_rng_factory(trial, "read-retry"),
+            file_name,
         )
 
     # -- speculative write --------------------------------------------------------------
@@ -193,18 +290,24 @@ class RobuStoreScheme(SchemeBase):
         # every disk busy until the client cancels.
         completions: list[np.ndarray] = []
         one_ways: list[float] = []
+        acks: list[np.ndarray] = []
         for idx, disk_id in enumerate(disks):
             disk_id = int(disk_id)
             filer = self.cluster.filer_of_disk(disk_id)
             one_way = filer.link.one_way_s
             svc = self.cluster.block_service(disk_id, rng_for(disk_id))
-            completions.append(svc.serve(per_disk_cap, cfg.block_bytes, t0 + one_way))
+            t_arrive = request_arrival_time(self.cluster, disk_id, t0, one_way)
+            c = svc.serve(per_disk_cap, cfg.block_bytes, t_arrive)
+            completions.append(c)
             one_ways.append(one_way)
+            acks.append(
+                np.asarray(
+                    response_arrival_times(self.cluster, disk_id, c, one_way)
+                )
+            )
 
         # Merge commit acks (commit + one-way back) in time order.
-        ack_times = np.concatenate(
-            [c + w for c, w in zip(completions, one_ways)]
-        )
+        ack_times = np.concatenate(acks)
         ack_ids = np.concatenate(
             [idx + h * np.arange(c.size) for idx, c in enumerate(completions)]
         )
@@ -220,7 +323,23 @@ class RobuStoreScheme(SchemeBase):
             if count >= target and decoder.is_complete:
                 t_enough = float(t)
                 break
-        if t_enough is None:
+        # An infinite t_enough means the decodable target was only reached
+        # by counting acks that never arrive (flushed by a fail-stop).
+        if t_enough is None or not np.isfinite(t_enough):
+            if not np.all(np.isfinite(ack_times)):
+                # Fault injection killed disks mid-write: the committed set
+                # never reaches a decodable target — the write fails rather
+                # than the supply being undersized.
+                if self.tracer.enabled:
+                    self.tracer.count("scheme.failed_writes")
+                return AccessResult(
+                    latency_s=float("inf"),
+                    data_bytes=cfg.data_bytes,
+                    network_bytes=0,
+                    disk_blocks=0,
+                    blocks_received=0,
+                    extra={"target_blocks": target, "write_failed": True},
+                )
             raise RuntimeError(
                 "speculative write exhausted its rateless supply; "
                 "increase WRITE_SUPPLY_FACTOR"

@@ -18,7 +18,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.access import AccessResult
+from repro.core.access import (
+    AccessResult,
+    request_arrival_time,
+    response_arrival_times,
+)
 from repro.core.rraid_s import RRaidSScheme
 from repro.disk.service import BlockService
 
@@ -95,7 +99,9 @@ class RRaidAScheme(RRaidSScheme):
                     disk_id=int(disk_id),
                     svc=self.cluster.block_service(int(disk_id), rng_for(int(disk_id))),
                     one_way=filer.link.one_way_s,
-                    ready=t0 + filer.link.one_way_s,
+                    ready=request_arrival_time(
+                        self.cluster, int(disk_id), t0, filer.link.one_way_s
+                    ),
                 )
             )
 
@@ -136,7 +142,10 @@ class RRaidAScheme(RRaidSScheme):
             frac_total = max(1e-9, sum(frac.get(b, 1.0) for b in ids))
             run.avg_block_s = (float(run.completions[-1]) - t_start) / frac_total
             for bid, t in zip(ids, run.completions):
-                arrivals.append((float(t) + run.one_way, int(bid)))
+                t_client = response_arrival_times(
+                    self.cluster, run.disk_id, float(t), run.one_way
+                )
+                arrivals.append((float(t_client), int(bid)))
                 served_by[int(bid)] = runs.index(run)
             blocks_fetched += len(ids)
             run.ready = float(run.completions[-1])
@@ -160,7 +169,10 @@ class RRaidAScheme(RRaidSScheme):
             cached = filer.cached_blocks(file_name, ids)
             hit_ids = [b for b, c in zip(ids, cached) if c]
             for b in hit_ids:
-                arrivals.append((run.ready + run.one_way, int(b)))
+                t_client = response_arrival_times(
+                    self.cluster, run.disk_id, run.ready, run.one_way
+                )
+                arrivals.append((float(t_client), int(b)))
                 served_by[int(b)] = idx
             filer.record_read(file_name, hit_ids, cfg.block_bytes)
             cache_hits += len(hit_ids)
@@ -262,7 +274,10 @@ class RRaidAScheme(RRaidSScheme):
                         partial_bytes += before * (1.0 - left) * cfg.block_bytes
                         frac[inflight] = before * left
                 elif np.isfinite(c_if):
-                    arrivals.append((c_if + b.one_way, int(inflight)))
+                    t_client = response_arrival_times(
+                        self.cluster, b.disk_id, c_if, b.one_way
+                    )
+                    arrivals.append((float(t_client), int(inflight)))
                     blocks_fetched += 1
                     keep = [x for x in keep if x != inflight]
                     b_start = c_if

@@ -102,15 +102,28 @@ class DiskDrive:
         self.served_requests = 0
         self.served_bytes = 0
         self.busy_time = 0.0
+        #: Fault-injection state (see :mod:`repro.faults`): a failed drive
+        #: answers every request with an infinite completion time; a slow
+        #: factor > 1 stretches each service begun while it is in effect.
+        self.failed = False
+        self.slow_factor = 1.0
+        self._abort: Optional[Event] = None
         self.tracer = env.tracer
         self.obs_name = f"drive{next(_drive_ids)}"
         env.process(self._run(), name="disk-drive")
 
     # -- client interface ---------------------------------------------------
     def submit(self, request: DiskRequest) -> DiskRequest:
-        """Queue a request; its ``done`` event fires on completion."""
+        """Queue a request; its ``done`` event fires on completion.
+
+        Submitting to a failed drive completes the request immediately with
+        an infinite timestamp — the erasure signal the schemes act on.
+        """
         if request.done is None:
             request.done = self.env.event()
+        if self.failed:
+            request.done.succeed(float("inf"))
+            return request
         request.cylinder = int(self.mechanics.geometry.cylinder_of_lba(request.lba))
         self.queue.push(request)
         if self.tracer.enabled:
@@ -150,6 +163,57 @@ class DiskDrive:
         """Fraction of elapsed time spent serving requests."""
         return self.busy_time / self.env.now if self.env.now > 0 else 0.0
 
+    # -- fault injection -------------------------------------------------------
+    def fail(self) -> None:
+        """Fail-stop the drive *now*.
+
+        The in-flight request (if any) aborts with an infinite completion,
+        every queued request flushes the same way, and later submissions
+        complete immediately at ``inf`` until :meth:`recover`.
+        """
+        if self.failed:
+            return
+        self.failed = True
+        flushed = self.queue.cancel(lambda req: True)
+        for req in flushed:
+            if req.done is not None and not req.done.triggered:
+                req.done.succeed(float("inf"))
+        if self._abort is not None and not self._abort.triggered:
+            self._abort.succeed(None)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "drive.fail",
+                "drive",
+                self.env.now,
+                track=self.obs_name,
+                args={"flushed": len(flushed)},
+            )
+
+    def recover(self) -> None:
+        """Return a failed drive to service (its queue starts empty)."""
+        if not self.failed:
+            return
+        self.failed = False
+        self._last_end_lba = None  # the head re-homes on restart
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "drive.recover", "drive", self.env.now, track=self.obs_name
+            )
+
+    def set_slow(self, factor: float) -> None:
+        """Stretch every subsequently started service by ``factor`` (>= 1)."""
+        if factor < 1.0:
+            raise ValueError("slow factor must be >= 1")
+        self.slow_factor = float(factor)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "drive.slow",
+                "drive",
+                self.env.now,
+                track=self.obs_name,
+                args={"factor": factor},
+            )
+
     # -- background workload --------------------------------------------------
     def attach_background(self, workload: BackgroundWorkload) -> None:
         """Start injecting the competitive request stream into this drive."""
@@ -182,9 +246,30 @@ class DiskDrive:
             req = self.queue.pop(self.current_cylinder)
             self.busy = True
             t_start = env.now
-            service = self._service_time(req)
-            yield env.timeout(service)
+            service = self._service_time(req) * self.slow_factor
+            # Race the service against a fail-stop: a drive that dies
+            # mid-transfer never delivers the request.
+            done = env.timeout(service)
+            self._abort = env.event()
+            yield env.any_of([done, self._abort])
+            # A Timeout is `triggered` from construction (it carries its
+            # value immediately); only `processed` says it actually fired.
+            aborted = self._abort.triggered and not done.processed
+            self._abort = None
             self.busy = False
+            if aborted:
+                self.busy_time += env.now - t_start
+                if req.done is not None and not req.done.triggered:
+                    req.done.succeed(float("inf"))
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        "drive.abort",
+                        "drive",
+                        env.now,
+                        track=self.obs_name,
+                        args={"lba": req.lba, "sectors": req.sectors},
+                    )
+                continue
             self.busy_time += service
             self.served_requests += 1
             self.served_bytes += req.bytes

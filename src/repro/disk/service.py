@@ -88,6 +88,12 @@ class BlockService:
         This disk's random stream.
     background:
         Optional competitive load.
+    timeline:
+        Optional :class:`repro.faults.timeline.DiskTimeline`; when set,
+        completion times are warped through the disk's fault profile
+        (slowdowns stretch them, outages push them past the recovery, a
+        permanent fail-stop maps unfinished work to ``inf``).  ``None``
+        keeps the arithmetic bit-identical to an unfaulted run.
     """
 
     def __init__(
@@ -98,6 +104,7 @@ class BlockService:
         rng: np.random.Generator,
         background: BackgroundLoad | None = None,
         failed: bool = False,
+        timeline=None,
     ) -> None:
         self.mechanics = mechanics
         self.layout = layout
@@ -105,6 +112,7 @@ class BlockService:
         self.rng = rng
         self.background = background
         self.failed = failed
+        self.timeline = timeline
 
     # -- nominal block service ------------------------------------------------
     def block_service_times(self, n_blocks: int, block_bytes: int) -> np.ndarray:
@@ -177,7 +185,7 @@ class BlockService:
         s_cum = start + np.cumsum(services)
         bg = self.background
         if bg is None or services.size == 0:
-            return s_cum
+            return self._warp(s_cum, start)
 
         # Repositioning penalty per interruption: only a sequential
         # foreground stream loses positioning work to interleaving.
@@ -209,7 +217,13 @@ class BlockService:
                 c = c_new
                 break
             c = c_new
-        return c
+        return self._warp(c, start)
+
+    def _warp(self, completions: np.ndarray, start: float) -> np.ndarray:
+        """Apply the disk's fault profile (identity when no timeline)."""
+        if self.timeline is None:
+            return completions
+        return self.timeline.warp(completions, start)
 
     def serve(
         self, n_blocks: int, block_bytes: int, start: float

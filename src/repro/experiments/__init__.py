@@ -12,6 +12,7 @@ from functools import partial
 from repro.experiments import (
     ablations,
     extensions,
+    faultstorm,
     multiuser,
     cache_experiments,
     coding_experiments,
@@ -59,6 +60,7 @@ REGISTRY = {
     "ext_baselines": extensions.ext_baselines,
     "ext_wan_regime": extensions.ext_wan_regime,
     "ext_repair": extensions.ext_repair,
+    "ext_faultstorm": faultstorm.ext_faultstorm,
 }
 
 __all__ = ["REGISTRY"]

@@ -64,6 +64,16 @@ class TrialPlan:
     cache_aging_window_s: float = 1000.0
     #: Disks (drawn randomly per trial) that fail and never respond.
     failed_disks: int = 0
+    #: Fixed mid-operation fault schedule installed for every trial
+    #: (:class:`repro.faults.plan.FaultPlan`); ``None`` = no timed faults.
+    fault_plan: Optional[object] = None
+    #: Stochastic fault storm: a :class:`repro.faults.model.FaultModel`
+    #: sampled per (scheme, trial) from its own seeded stream, so fault
+    #: draws never perturb the other random streams.  Mutually exclusive
+    #: with ``fault_plan``.
+    fault_model: Optional[object] = None
+    #: Sampling horizon (simulated seconds) for ``fault_model`` storms.
+    fault_horizon_s: float = 60.0
 
     def bg_intervals(self, rng: np.random.Generator) -> Optional[dict[int, float]]:
         if self.background == "none":
@@ -96,6 +106,21 @@ def _run_trial(plan: TrialPlan, scheme, cluster: Cluster, hub: RngHub,
         fixed_zone=plan.fixed_zone,
         failed_disks=failed,
     )
+    if plan.fault_plan is not None and plan.fault_model is not None:
+        raise ValueError("fault_plan and fault_model are mutually exclusive")
+    if plan.fault_plan is not None:
+        cluster.install_faults(plan.fault_plan)
+    elif plan.fault_model is not None:
+        fault_rng = hub.fresh("faults", scheme_name, trial)
+        cluster.install_faults(
+            plan.fault_model.sample_plan(
+                fault_rng, plan.pool, plan.fault_horizon_s, n_filers=cluster.n_filers
+            )
+        )
+    else:
+        cluster.install_faults(None)
+    if cluster.faults is not None and cluster.tracer.enabled:
+        cluster.faults.emit_trace(cluster.tracer)
     name = f"f-{scheme_name}-{trial}"
     if plan.mode == "read":
         scheme.prepare(name, trial)

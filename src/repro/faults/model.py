@@ -1,0 +1,146 @@
+"""Seeded stochastic fault generation (MTTF/MTTR-style distributions).
+
+Real erasure-coded clusters see far more transient degradation than clean
+fail-stop (Rashmi et al.'s Facebook-cluster study; Dimakis et al.'s repair
+analysis): disks stall and come back, whole machines reboot, links get
+congested.  A :class:`FaultModel` captures that regime with per-disk
+exponential failure/repair clocks plus Poisson slowdown and filer-crash
+processes, and samples a concrete :class:`repro.faults.plan.FaultPlan`
+from any :class:`numpy.random.Generator` — typically an
+:class:`repro.sim.rng.RngHub` stream, so fault draws never perturb the
+simulator's other random streams and equal seeds reproduce equal storms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.faults.plan import (
+    DISK_FAIL,
+    DISK_SLOW,
+    FILER_CRASH,
+    LINK_DEGRADE,
+    FaultEvent,
+    FaultPlan,
+)
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Distribution parameters for sampled fault storms.
+
+    All rates are per simulated second over the sampling horizon, scaled
+    down from real-world MTTF/MTTR figures so that multi-hour failure
+    processes produce interesting event counts inside a seconds-long
+    access window.
+
+    Attributes
+    ----------
+    mttf_s:
+        Mean time to (fail-stop) failure per disk; ``inf`` disables
+        fail-stops.
+    mttr_s:
+        Mean time to repair a failed disk; ``None`` makes failures
+        permanent within the horizon.
+    slow_mtbf_s:
+        Mean time between transient slowdowns per disk; ``inf`` disables.
+    slow_factor / slow_duration_s:
+        Mean service-time multiplier (>= 1) and mean window length of a
+        slowdown; both drawn exponentially around the mean (factor is
+        ``1 + Exp(slow_factor - 1)``).
+    filer_crash_mtbf_s:
+        Mean time between filer crashes across the whole cluster;
+        ``inf`` disables.  Crash windows last ``Exp(filer_down_s)``.
+    link_degrade_mtbf_s / link_extra_s / link_duration_s:
+        Cluster-wide link-degradation process and its window parameters.
+    """
+
+    mttf_s: float = float("inf")
+    mttr_s: Optional[float] = None
+    slow_mtbf_s: float = float("inf")
+    slow_factor: float = 4.0
+    slow_duration_s: float = 0.5
+    filer_crash_mtbf_s: float = float("inf")
+    filer_down_s: float = 0.5
+    link_degrade_mtbf_s: float = float("inf")
+    link_extra_s: float = 0.020
+    link_duration_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("mttf_s", "slow_mtbf_s", "filer_crash_mtbf_s", "link_degrade_mtbf_s"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive (use inf to disable)")
+        if self.mttr_s is not None and self.mttr_s <= 0:
+            raise ValueError("mttr_s must be positive (or None for permanent)")
+        if self.slow_factor < 1.0:
+            raise ValueError("slow_factor must be >= 1")
+
+    def sample_plan(
+        self,
+        rng: np.random.Generator,
+        n_disks: int,
+        horizon_s: float,
+        n_filers: int = 0,
+    ) -> FaultPlan:
+        """Draw one concrete fault storm over ``[0, horizon_s)``.
+
+        Event times, targets and window parameters all come from ``rng``;
+        the draw order is fixed (disks ascending, then filers), so equal
+        generators yield equal plans.
+        """
+        if horizon_s <= 0:
+            raise ValueError("horizon must be positive")
+        events: list[FaultEvent] = []
+        for d in range(n_disks):
+            # Fail-stop clock: first exponential arrival inside the horizon
+            # fails the disk; an MTTR draw may bring it back.
+            if np.isfinite(self.mttf_s):
+                t_fail = float(rng.exponential(self.mttf_s))
+                if t_fail < horizon_s:
+                    duration = None
+                    if self.mttr_s is not None:
+                        duration = float(rng.exponential(self.mttr_s))
+                        duration = max(duration, 1e-6)
+                    events.append(
+                        FaultEvent(t=t_fail, kind=DISK_FAIL, disk=d, duration=duration)
+                    )
+            # Transient slowdowns: Poisson arrivals over the horizon.
+            if np.isfinite(self.slow_mtbf_s):
+                t = float(rng.exponential(self.slow_mtbf_s))
+                while t < horizon_s:
+                    factor = 1.0 + float(rng.exponential(max(self.slow_factor - 1.0, 1e-9)))
+                    duration = max(float(rng.exponential(self.slow_duration_s)), 1e-6)
+                    events.append(
+                        FaultEvent(
+                            t=t, kind=DISK_SLOW, disk=d,
+                            factor=factor, duration=duration,
+                        )
+                    )
+                    t += float(rng.exponential(self.slow_mtbf_s))
+        for proc, kind in (
+            (self.filer_crash_mtbf_s, FILER_CRASH),
+            (self.link_degrade_mtbf_s, LINK_DEGRADE),
+        ):
+            if not np.isfinite(proc) or n_filers <= 0:
+                continue
+            t = float(rng.exponential(proc))
+            while t < horizon_s:
+                filer = int(rng.integers(0, n_filers))
+                if kind == FILER_CRASH:
+                    duration = max(float(rng.exponential(self.filer_down_s)), 1e-6)
+                    events.append(
+                        FaultEvent(t=t, kind=kind, filer=filer, duration=duration)
+                    )
+                else:
+                    duration = max(float(rng.exponential(self.link_duration_s)), 1e-6)
+                    events.append(
+                        FaultEvent(
+                            t=t, kind=kind, filer=filer,
+                            duration=duration, extra_s=self.link_extra_s,
+                        )
+                    )
+                t += float(rng.exponential(proc))
+        return FaultPlan(events)

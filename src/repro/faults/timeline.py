@@ -1,0 +1,314 @@
+"""Per-target compiled fault profiles: the closed-form fault transform.
+
+The simulator's hot read/write paths are vectorised — each disk's queue
+completion times are computed in closed form, not event by event
+(:mod:`repro.disk.service`).  Mid-operation faults therefore enter the
+same way: as a deterministic *time warp*.
+
+A :class:`DiskTimeline` turns a disk's fault events into (a) a piecewise-
+constant service-rate profile — rate 1 nominally, rate ``1/factor``
+inside a slowdown window — and (b) a set of *fail-stop cutoffs*.  Nominal
+completion times — wall times assuming full rate — are first mapped
+through the inverse of the accumulated-capacity function (a block that
+still needed ``w`` seconds of service completes once the disk has
+delivered ``w`` seconds of capacity), then any block still unfinished
+when a fail-stop (or filer crash) strikes is *lost*: its completion is
+``inf``.  A fail-stop flushes the queue — it does not pause it — matching
+the event-driven :meth:`repro.disk.drive.DiskDrive.fail` semantics.  A
+recovered disk serves *new* requests submitted after the outage
+(re-speculation's second round); it never resurrects the flushed ones.
+
+A :class:`LinkTimeline` does the same for the network path: degradation
+windows add one-way latency to messages departing inside them, and
+blackout windows (filer crash) hold messages until the restart.
+
+Both transforms are identity-free by construction: a target with no fault
+events gets *no* timeline at all, so untouched disks/links keep
+bit-identical arithmetic (the zero-perturbation guarantee).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.faults.plan import (
+    DISK_FAIL,
+    DISK_RECOVER,
+    DISK_SLOW,
+    FaultEvent,
+    FaultPlan,
+)
+
+
+def _merge_windows(windows: list[tuple[float, float]]) -> list[tuple[float, float]]:
+    """Union of possibly-overlapping [t0, t1) windows, sorted."""
+    merged: list[tuple[float, float]] = []
+    for t0, t1 in sorted(windows):
+        if merged and t0 <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], t1))
+        else:
+            merged.append((t0, t1))
+    return merged
+
+
+class DiskTimeline:
+    """One disk's fault profile: slowdown stretching + fail-stop cutoffs.
+
+    Parameters
+    ----------
+    down:
+        ``[t0, t1)`` outage windows (``t1`` may be ``inf`` for a permanent
+        fail-stop).  Overlaps are merged.  Work unfinished at ``t0`` is
+        lost (the queue flushes); the disk accepts new work again at
+        ``t1``.
+    slow:
+        ``(t0, t1, factor)`` windows where service takes ``factor`` times
+        longer.  Overlapping slowdowns compound by taking the largest
+        factor (the bottleneck dominates).
+    """
+
+    def __init__(
+        self,
+        down: list[tuple[float, float]] | None = None,
+        slow: list[tuple[float, float, float]] | None = None,
+    ) -> None:
+        self.down = _merge_windows(down or [])
+        self.slow = sorted(slow or [])
+        # Breakpoints of the piecewise-constant slow-only rate profile.
+        cuts = {0.0}
+        for t0, t1, _ in self.slow:
+            cuts.add(t0)
+            cuts.add(t1)
+        self._cuts = np.array(sorted(cuts), dtype=np.float64)
+        self._rates = np.array(
+            [self._rate_in(t) for t in self._cuts], dtype=np.float64
+        )
+        self._fail_times = np.array([t0 for t0, _ in self.down], dtype=np.float64)
+
+    def _rate_in(self, t0: float) -> float:
+        """Slow-only service rate of the profile segment starting at ``t0``."""
+        factor = 1.0
+        for s0, s1, f in self.slow:
+            if s0 <= t0 < s1:
+                factor = max(factor, f)
+        return 1.0 / factor
+
+    def rate_at(self, t: float) -> float:
+        """Instantaneous service rate at time ``t`` (0 during an outage)."""
+        if self.down_at(t):
+            return 0.0
+        idx = int(np.searchsorted(self._cuts, t, side="right")) - 1
+        return float(self._rates[max(idx, 0)])
+
+    def down_at(self, t: float) -> bool:
+        return any(d0 <= t < d1 for d0, d1 in self.down)
+
+    @property
+    def down_forever(self) -> bool:
+        """True when the profile ends in a permanent outage."""
+        return bool(self.down) and math.isinf(self.down[-1][1])
+
+    def resume_time(self, t: float) -> float:
+        """Earliest instant >= ``t`` the disk accepts work (may be ``inf``)."""
+        for d0, d1 in self.down:
+            if d0 <= t < d1:
+                return d1
+        return t
+
+    def next_fail_after(self, t: float) -> float:
+        """First fail-stop instant strictly after ``t`` (``inf`` if none)."""
+        idx = int(np.searchsorted(self._fail_times, t, side="right"))
+        return float(self._fail_times[idx]) if idx < self._fail_times.size else math.inf
+
+    def warp(self, completions: np.ndarray, start: float) -> np.ndarray:
+        """Map nominal (full-rate) completion times to faulted wall times.
+
+        ``completions`` are the wall times each queued block would finish
+        at if the disk served at rate 1 from ``start``; the cumulative
+        service demand of block *i* is therefore ``completions[i] -
+        start``.  Service begins once the disk is up (``start``, or the
+        end of the outage covering it), slow windows stretch it through
+        the inverse accumulated-capacity map, and every block still
+        unfinished at the next fail-stop is lost (``inf``) — the queue
+        does not survive a crash.
+        """
+        c = np.asarray(completions, dtype=np.float64)
+        if c.size == 0:
+            return c
+        work = c - start
+        s = self.resume_time(start)
+        if math.isinf(s):
+            return np.full(c.size, np.inf)
+
+        # Slow-only segment boundaries restricted to [s, inf): the
+        # profile's cuts after `s`, with `s` itself prepended.
+        first = int(np.searchsorted(self._cuts, s, side="right"))
+        times = np.concatenate([[s], self._cuts[first:]])
+        rate0 = self._rates[max(first - 1, 0)]
+        rates = np.concatenate([[rate0], self._rates[first:]])
+        # Accumulated capacity at each boundary (strictly increasing:
+        # every slow-only rate is positive).
+        caps = np.concatenate([[0.0], np.cumsum(np.diff(times) * rates[:-1])])
+
+        out = np.empty_like(work)
+        # First boundary with enough accumulated capacity.
+        seg = np.searchsorted(caps, work, side="left")
+        inside = (seg > 0) & (seg < caps.size)
+        if np.any(inside):
+            j = seg[inside]
+            out[inside] = times[j - 1] + (work[inside] - caps[j - 1]) / rates[j - 1]
+        out[seg == 0] = s  # zero (or negative) residual work
+        beyond = seg >= caps.size
+        if np.any(beyond):
+            # Work outlives every breakpoint: finish at the final rate.
+            out[beyond] = times[-1] + (work[beyond] - caps[-1]) / rates[-1]
+        # Fail-stop cutoff: blocks not transferred when the disk dies are
+        # erasures (a block completing exactly at the instant made it out).
+        cutoff = self.next_fail_after(s)
+        if math.isfinite(cutoff):
+            out[out > cutoff] = np.inf
+        return out
+
+    @classmethod
+    def from_events(
+        cls,
+        events: list[FaultEvent],
+        extra_down: list[tuple[float, float]] | None = None,
+    ) -> "DiskTimeline | None":
+        """Compile one disk's events (+ filer-crash windows) to a profile.
+
+        Returns ``None`` when there is nothing to compile, so untouched
+        disks skip the warp entirely.
+        """
+        down: list[tuple[float, float]] = list(extra_down or [])
+        slow: list[tuple[float, float, float]] = []
+        open_fail: float | None = None
+        for ev in sorted(events, key=lambda e: e.t):
+            if ev.kind == DISK_FAIL:
+                if ev.duration is not None:
+                    down.append((ev.t, ev.t + ev.duration))
+                else:
+                    open_fail = ev.t
+            elif ev.kind == DISK_RECOVER:
+                if open_fail is not None:
+                    down.append((open_fail, ev.t))
+                    open_fail = None
+            elif ev.kind == DISK_SLOW:
+                assert ev.duration is not None and ev.factor is not None
+                slow.append((ev.t, ev.t + ev.duration, float(ev.factor)))
+        if open_fail is not None:
+            down.append((open_fail, math.inf))
+        if not down and not slow:
+            return None
+        return cls(down=down, slow=slow)
+
+
+class LinkTimeline:
+    """One server link's latency-degradation and blackout profile.
+
+    Parameters
+    ----------
+    extra:
+        ``(t0, t1, extra_s)`` windows adding one-way latency to messages
+        *departing* inside them (overlaps sum).
+    blackout:
+        ``[t0, t1)`` windows (filer crash) during which no message moves:
+        a payload ready inside a blackout leaves at its end, and a request
+        arriving inside one is processed at its end.
+    """
+
+    def __init__(
+        self,
+        extra: list[tuple[float, float, float]] | None = None,
+        blackout: list[tuple[float, float]] | None = None,
+    ) -> None:
+        self.extra = sorted(extra or [])
+        self.blackout = _merge_windows(blackout or [])
+
+    def extra_at(self, t: np.ndarray | float) -> np.ndarray | float:
+        """Added one-way latency for a message departing at ``t``."""
+        t_arr = np.asarray(t, dtype=np.float64)
+        add = np.zeros_like(t_arr)
+        for t0, t1, e in self.extra:
+            add = add + np.where((t_arr >= t0) & (t_arr < t1), e, 0.0)
+        return add if isinstance(t, np.ndarray) else float(add)
+
+    def _defer(self, t: np.ndarray) -> np.ndarray:
+        """Shift instants falling inside a blackout to the blackout end."""
+        out = np.asarray(t, dtype=np.float64).copy()
+        for t0, t1 in self.blackout:
+            out = np.where((out >= t0) & (out < t1), t1, out)
+        return out
+
+    def response_arrivals(
+        self, ready: np.ndarray | float, one_way_s: float
+    ) -> np.ndarray | float:
+        """Client arrival times for payloads ready at the filer at ``ready``."""
+        t = self._defer(np.asarray(ready, dtype=np.float64))
+        out = t + (one_way_s + self.extra_at(t))
+        return out if isinstance(ready, np.ndarray) else float(out)
+
+    def request_arrival(self, t_send: float, one_way_s: float) -> float:
+        """When a request sent at ``t_send`` is acted on by the filer."""
+        arrive = t_send + one_way_s + float(self.extra_at(t_send))
+        return float(self._defer(np.asarray([arrive]))[0])
+
+    @classmethod
+    def from_windows(
+        cls,
+        extra: list[tuple[float, float, float]],
+        blackout: list[tuple[float, float]],
+    ) -> "LinkTimeline | None":
+        if not extra and not blackout:
+            return None
+        return cls(extra=extra, blackout=blackout)
+
+
+def compile_plan(
+    plan: FaultPlan, disks_per_filer: int, n_disks: int
+) -> tuple[dict[int, DiskTimeline], dict[int, LinkTimeline]]:
+    """Compile a plan into per-disk and per-filer timelines.
+
+    A ``filer_crash`` contributes a down window to each of the filer's
+    disks *and* a blackout to its link; ``link_degrade`` touches only the
+    link.  Only targets with events get a timeline.
+    """
+    disk_events: dict[int, list[FaultEvent]] = {}
+    filer_down: dict[int, list[tuple[float, float]]] = {}
+    link_extra: dict[int, list[tuple[float, float, float]]] = {}
+    for ev in plan:
+        if ev.disk is not None:
+            disk_events.setdefault(int(ev.disk), []).append(ev)
+        elif ev.kind == "filer_crash":
+            assert ev.duration is not None
+            filer_down.setdefault(int(ev.filer), []).append((ev.t, ev.t + ev.duration))
+        elif ev.kind == "link_degrade":
+            assert ev.duration is not None and ev.extra_s is not None
+            link_extra.setdefault(int(ev.filer), []).append(
+                (ev.t, ev.t + ev.duration, float(ev.extra_s))
+            )
+
+    disk_tl: dict[int, DiskTimeline] = {}
+    touched = set(disk_events)
+    for f in filer_down:
+        touched.update(
+            range(f * disks_per_filer, min((f + 1) * disks_per_filer, n_disks))
+        )
+    for d in sorted(touched):
+        f = d // disks_per_filer
+        tl = DiskTimeline.from_events(
+            disk_events.get(d, []), extra_down=filer_down.get(f)
+        )
+        if tl is not None:
+            disk_tl[d] = tl
+
+    link_tl: dict[int, LinkTimeline] = {}
+    for f in sorted(set(link_extra) | set(filer_down)):
+        tl = LinkTimeline.from_windows(
+            link_extra.get(f, []), filer_down.get(f, [])
+        )
+        if tl is not None:
+            link_tl[f] = tl
+    return disk_tl, link_tl

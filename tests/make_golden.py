@@ -1,19 +1,33 @@
-"""Regenerate tests/data/golden_trace.json after a deliberate format change.
+"""Regenerate the golden files under tests/data after a deliberate change.
 
 Usage::
 
     PYTHONPATH=src python -m tests.make_golden
+
+Writes:
+
+* ``golden_trace.json`` — the tracer's Chrome export format
+  (:func:`tests.test_obs_tracer.build_reference_tracer`);
+* ``golden_faults.json`` — per-scheme results under the reference fault
+  storm (:func:`tests.test_faults_golden.build_fault_reference`).
 """
 
 import json
 import pathlib
 
+from tests.test_faults_golden import build_fault_reference
 from tests.test_obs_tracer import build_reference_tracer
 
 if __name__ == "__main__":
-    path = pathlib.Path(__file__).parent / "data" / "golden_trace.json"
-    path.parent.mkdir(exist_ok=True)
+    data = pathlib.Path(__file__).parent / "data"
+    data.mkdir(exist_ok=True)
+
+    path = data / "golden_trace.json"
     path.write_text(
         json.dumps(build_reference_tracer().to_chrome(), indent=1) + "\n"
     )
+    print(f"wrote {path}")
+
+    path = data / "golden_faults.json"
+    path.write_text(json.dumps(build_fault_reference(), indent=1) + "\n")
     print(f"wrote {path}")

@@ -1,0 +1,48 @@
+"""The ext_faultstorm experiment: determinism and the robustness ordering."""
+
+import numpy as np
+
+from repro.experiments.faultstorm import STORM, ext_faultstorm
+
+ARGS = dict(data_mb=64, n_disks=16, trials=6, seed=1)
+
+
+def test_equal_seeds_reproduce_the_table():
+    a = ext_faultstorm(**ARGS)
+    b = ext_faultstorm(**ARGS)
+    assert a.rows == b.rows
+    assert a.bandwidths == b.bandwidths
+    assert a.text() == b.text()
+
+
+def test_different_seed_different_storm():
+    a = ext_faultstorm(**ARGS)
+    c = ext_faultstorm(**{**ARGS, "seed": 2})
+    assert a.bandwidths != c.bandwidths
+
+
+def test_robustore_has_the_tightest_distribution():
+    """The paper's robustness claim under mid-operation faults: RAID-0's
+    bandwidth mixes zeros with full-speed runs (maximal variance) while
+    RobuSTore's erasure-coded speculation keeps the spread small."""
+    r = ext_faultstorm(**ARGS)
+    by = {row["scheme"]: row for row in r.rows}
+    assert by["raid0"]["failed"] > 0
+    assert by["robustore"]["failed"] == 0
+    assert by["robustore"]["cv"] < by["raid0"]["cv"]
+    assert by["robustore"]["bw_p50"] > by["raid0"]["bw_p50"]
+
+
+def test_failed_reads_count_as_zero_bandwidth():
+    r = ext_faultstorm(**ARGS)
+    by = {row["scheme"]: row for row in r.rows}
+    for name, bws in r.bandwidths.items():
+        assert len(bws) == ARGS["trials"]
+        assert sum(1 for b in bws if b == 0.0) == by[name]["failed"]
+        assert all(np.isfinite(b) for b in bws)
+
+
+def test_storm_is_a_fail_stop_regime():
+    # The reference storm models an unrepaired window: failures permanent.
+    assert STORM.mttr_s is None
+    assert np.isfinite(STORM.mttf_s)

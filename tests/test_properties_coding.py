@@ -1,0 +1,210 @@
+"""Property-based tests (hypothesis) for the erasure-coding stack.
+
+The contract every code must honour under fault injection:
+
+* decode(encode(x)) == x whenever enough coded blocks survive;
+* with fewer surviving blocks than the information-theoretic minimum the
+  decoder fails *cleanly* (``None`` / an exception / not-complete) — it
+  never fabricates data;
+* whenever a decoder claims success, the output is exactly the input.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding.lt import ImprovedLTCode
+from repro.coding.peeling import PeelingDecoder
+from repro.coding.raptor import RaptorCode
+from repro.coding.reed_solomon import ReedSolomonCode
+from repro.coding.tornado import TornadoCode
+
+BLOCK_LEN = 16  # payload bytes per block: small keeps examples fast
+
+
+def random_data(rng: np.random.Generator, k: int) -> np.ndarray:
+    return rng.integers(0, 256, size=(k, BLOCK_LEN), dtype=np.uint8)
+
+
+# ------------------------------------------------------------------ Reed-Solomon
+
+
+class TestReedSolomonProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=0, max_value=6),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_any_k_of_n_round_trip(self, k, parity, seed):
+        rng = np.random.default_rng(seed)
+        code = ReedSolomonCode(k, k + parity)
+        data = random_data(rng, k)
+        coded = code.encode(data)
+        survivors = rng.permutation(k + parity)[:k]
+        decoded = code.decode(survivors, coded[survivors])
+        assert np.array_equal(decoded, data)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=12),
+        st.integers(min_value=0, max_value=6),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_fewer_than_k_blocks_fail_cleanly(self, k, parity, seed):
+        rng = np.random.default_rng(seed)
+        code = ReedSolomonCode(k, k + parity)
+        coded = code.encode(random_data(rng, k))
+        survivors = rng.permutation(k + parity)[: k - 1]
+        with pytest.raises(ValueError):
+            code.decode(survivors, coded[survivors])
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=10),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_duplicate_ids_do_not_help(self, k, parity, seed):
+        """k blocks with a repeated id carry < k equations: clean failure."""
+        rng = np.random.default_rng(seed)
+        code = ReedSolomonCode(k, k + parity)
+        coded = code.encode(random_data(rng, k))
+        ids = np.zeros(k, dtype=np.int64)  # the same block k times
+        if k == 1:
+            # Degenerate: one distinct id IS enough for k=1.
+            assert code.decode(ids, coded[ids]).shape == (1, BLOCK_LEN)
+            return
+        with pytest.raises(ValueError):
+            code.decode(ids, coded[ids])
+
+
+# ------------------------------------------------------------------ Tornado
+
+
+class TestTornadoProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=4, max_value=48),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_no_erasures_round_trip(self, k, seed):
+        rng = np.random.default_rng(seed)
+        code = TornadoCode(k, rng=rng)
+        data = random_data(rng, k)
+        coded = code.encode(data)
+        decoded = code.decode_erasures(np.ones(code.n, dtype=bool), coded)
+        assert decoded is not None
+        assert np.array_equal(decoded[: code.k], data)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=4, max_value=48),
+        st.data(),
+    )
+    def test_never_wrong_when_it_claims_success(self, k, data_strategy):
+        """Erase a random subset; a non-None decode must equal the input."""
+        seed = data_strategy.draw(st.integers(min_value=0, max_value=2**32 - 1))
+        rng = np.random.default_rng(seed)
+        code = TornadoCode(k, rng=rng)
+        data = random_data(rng, k)
+        coded = code.encode(data)
+        n_erase = data_strategy.draw(st.integers(min_value=0, max_value=code.n - k))
+        present = np.ones(code.n, dtype=bool)
+        present[rng.permutation(code.n)[:n_erase]] = False
+        decoded = code.decode_erasures(present, coded)
+        if decoded is not None:
+            assert np.array_equal(decoded[: code.k], data)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=4, max_value=48),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_information_theoretic_floor(self, k, seed):
+        """Fewer than k surviving blocks can never reconstruct k originals."""
+        rng = np.random.default_rng(seed)
+        code = TornadoCode(k, rng=rng)
+        coded = code.encode(random_data(rng, k))
+        present = np.zeros(code.n, dtype=bool)
+        present[rng.permutation(code.n)[: k - 1]] = True
+        assert code.decode_erasures(present, coded) is None
+
+
+# ------------------------------------------------------------------ LT + peeling
+
+
+class TestLTPeelingProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=4, max_value=64),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_complete_decode_reproduces_the_data(self, k, seed):
+        rng = np.random.default_rng(seed)
+        code = ImprovedLTCode(k)
+        n = int(np.ceil(1.6 * k)) + 8  # enough overhead to usually finish
+        graph = code.build_graph(n, rng)
+        data = random_data(rng, k)
+        coded = code.encode(data, graph)
+        decoder = PeelingDecoder(graph, block_len=BLOCK_LEN)
+        for cid in rng.permutation(n):
+            decoder.add(int(cid), coded[cid])
+            if decoder.is_complete:
+                break
+        if decoder.is_complete:  # rateless: completion is probabilistic
+            assert np.array_equal(decoder.get_data(), data)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=4, max_value=64),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_fewer_than_k_blocks_never_complete(self, k, seed):
+        rng = np.random.default_rng(seed)
+        code = ImprovedLTCode(k)
+        graph = code.build_graph(2 * k, rng)
+        data = random_data(rng, k)
+        coded = code.encode(data, graph)
+        decoder = PeelingDecoder(graph, block_len=BLOCK_LEN)
+        for cid in rng.permutation(2 * k)[: k - 1]:
+            decoder.add(int(cid), coded[cid])
+        assert not decoder.is_complete
+
+
+# ------------------------------------------------------------------ Raptor
+
+
+class TestRaptorProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(min_value=4, max_value=40),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_never_wrong_when_it_claims_success(self, k, seed):
+        rng = np.random.default_rng(seed)
+        code = RaptorCode(k)
+        n = int(np.ceil(1.5 * code.m)) + 8
+        graph = code.build_graph(n, rng)
+        data = random_data(rng, k)
+        coded = code.encode(data, graph)
+        order = rng.permutation(n)
+        decoded = code.decode(graph, order, coded[order], BLOCK_LEN)
+        if decoded is not None:
+            assert np.array_equal(decoded, data)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(min_value=4, max_value=40),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_fewer_than_k_blocks_fail_cleanly(self, k, seed):
+        rng = np.random.default_rng(seed)
+        code = RaptorCode(k)
+        n = 2 * code.m
+        graph = code.build_graph(n, rng)
+        data = random_data(rng, k)
+        coded = code.encode(data, graph)
+        order = rng.permutation(n)[: k - 1]
+        assert code.decode(graph, order, coded[order], BLOCK_LEN) is None
