@@ -1,6 +1,9 @@
 """The storage schemes and client-facing API (the paper's contribution).
 
-Four schemes, as compared in Chapter 6:
+Every scheme is a composition of the :mod:`repro.core.policy` layers
+(placement x dispatch x completion x fault-reaction x write), run by the
+engine-agnostic pipeline in :mod:`repro.core.pipeline`.  The paper's
+schemes, as compared in Chapter 6:
 
 * :class:`repro.core.raid0.Raid0Scheme` — plain striping, zero redundancy.
 * :class:`repro.core.rraid_s.RRaidSScheme` — rotated replication +
@@ -10,11 +13,17 @@ Four schemes, as compared in Chapter 6:
 * :class:`repro.core.robustore.RobuStoreScheme` — LT-coded redundancy +
   speculative access (the paper's contribution).
 
-:mod:`repro.core.api` wraps them in the open/read/write/close interface of
-§4.3.1.
+Further cross-products (``lt+adaptive``, ``mirror+adaptive``,
+``rs+adaptive``) live only in
+:data:`repro.core.policy.compose.COMPOSITIONS`;
+:func:`repro.core.pipeline.scheme_class` synthesizes their classes on
+demand.  :mod:`repro.core.api` wraps the schemes in the
+open/read/write/close interface of §4.3.1.
 """
 
 from repro.core.access import AccessResult
+from repro.core.pipeline import PolicyScheme, scheme_class
+from repro.core.policy.compose import COMPOSITIONS
 from repro.core.raid0 import Raid0Scheme
 from repro.core.raid01 import Raid01Scheme
 from repro.core.raid5 import Raid5Scheme
@@ -24,6 +33,8 @@ from repro.core.rraid_a import RRaidAScheme
 from repro.core.rraid_s import RRaidSScheme
 
 #: The paper's four schemes plus the Fig 2-2 background baselines.
+#: (Exactly the named shim classes; registry-only compositions are in
+#: :data:`COMPOSITIONS` and resolved via :func:`scheme_class`.)
 SCHEMES = {
     "raid0": Raid0Scheme,
     "rraid-s": RRaidSScheme,
@@ -36,6 +47,8 @@ SCHEMES = {
 
 __all__ = [
     "AccessResult",
+    "COMPOSITIONS",
+    "PolicyScheme",
     "Raid0Scheme",
     "Raid01Scheme",
     "Raid5Scheme",
@@ -44,4 +57,5 @@ __all__ = [
     "RobuStoreRSScheme",
     "RobuStoreScheme",
     "SCHEMES",
+    "scheme_class",
 ]

@@ -16,12 +16,18 @@ Implements the speculative-access timeline of §4.1.2/§6.2.2:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Protocol
+from typing import Optional
 
 import numpy as np
 
 from repro.cluster.metadata import MetadataServer
 from repro.cluster.server import Cluster
+from repro.core.trackers import (  # noqa: F401  (re-exported: original import path)
+    AllBlocksTracker,
+    CompletionTracker,
+    CoverageTracker,
+    DecoderTracker,
+)
 from repro.disk.service import served_before
 
 MB = 1 << 20
@@ -139,66 +145,6 @@ class DiskStream:
     completions: np.ndarray        # disk completion time of uncached blocks
     arrivals: np.ndarray           # client arrival time, aligned w/ block_ids
     one_way_s: float
-
-
-class CompletionTracker(Protocol):
-    """Consumes block arrivals; reports when the access can finish."""
-
-    def add(self, block_id: int) -> None: ...
-
-    @property
-    def complete(self) -> bool: ...
-
-
-class AllBlocksTracker:
-    """RAID-0: every distinct block must arrive."""
-
-    def __init__(self, k: int) -> None:
-        self.k = k
-        self._have = np.zeros(k, dtype=bool)
-        self._count = 0
-
-    def add(self, block_id: int) -> None:
-        if not self._have[block_id]:
-            self._have[block_id] = True
-            self._count += 1
-
-    @property
-    def complete(self) -> bool:
-        return self._count >= self.k
-
-
-class CoverageTracker:
-    """RRAID: at least one replica of every original block (id = r*K + i)."""
-
-    def __init__(self, k: int) -> None:
-        self.k = k
-        self._have = np.zeros(k, dtype=bool)
-        self._count = 0
-
-    def add(self, block_id: int) -> None:
-        orig = block_id % self.k
-        if not self._have[orig]:
-            self._have[orig] = True
-            self._count += 1
-
-    @property
-    def complete(self) -> bool:
-        return self._count >= self.k
-
-
-class DecoderTracker:
-    """RobuSTore: the incremental LT peeling decoder."""
-
-    def __init__(self, decoder) -> None:
-        self.decoder = decoder
-
-    def add(self, block_id: int) -> None:
-        self.decoder.add(block_id)
-
-    @property
-    def complete(self) -> bool:
-        return self.decoder.is_complete
 
 
 #: Cap on sampled points per counter series — traces stay compact while the
@@ -398,10 +344,19 @@ def completion_with_order(
     client_bandwidth_bps: float = float("inf"),
 ) -> tuple[float, int, list[int]]:
     """Like :func:`completion_time` but also returns the consumed block ids
-    in arrival order (the data-path API replays real decoding with them)."""
+    in arrival order (the data-path API replays real decoding with them).
+
+    Trackers exposing ``observe(t, block_id)`` (the
+    :class:`repro.core.trackers.TrackerBase` hook) are fed the arrival time
+    too; plain ``add``-only trackers keep working unchanged.
+    """
     times, ids = merged_arrival_order(streams, block_bytes, client_bandwidth_bps)
+    observe = getattr(tracker, "observe", None)
     for consumed, (t, bid) in enumerate(zip(times, ids), start=1):
-        tracker.add(int(bid))
+        if observe is not None:
+            observe(float(t), int(bid))
+        else:
+            tracker.add(int(bid))
         if tracker.complete:
             return float(t), consumed, [int(b) for b in ids[:consumed]]
     return float("inf"), int(times.size), [int(b) for b in ids]

@@ -28,9 +28,9 @@ import numpy as np
 from repro.cluster.metadata import MetadataServer
 from repro.cluster.server import Cluster
 from repro.coding.xorblocks import join_blocks, split_into_blocks
-from repro.core import SCHEMES
 from repro.core.access import MB, AccessConfig, AccessResult
 from repro.core.codecs import codec_for
+from repro.core.pipeline import scheme_class
 from repro.core.qos import QoSOptions, plan_access
 from repro.sim.rng import RngHub
 
@@ -68,9 +68,11 @@ class StorageClient:
         except KeyError:
             raise ValueError(
                 f"scheme {scheme!r} has no data-path codec; pick one of "
-                "raid0, rraid-s, rraid-a, raid0+1, robustore, robustore-rs"
+                "raid0, rraid-s, rraid-a, raid0+1, robustore, robustore-rs "
+                "or a composed scheme sharing their placements"
             ) from None
         self.scheme_name = scheme
+        self._scheme_cls = scheme_class(scheme)
         self.cluster = cluster or Cluster(n_disks=128)
         self.config = config or AccessConfig(data_bytes=64 * MB, n_disks=16)
         self.hub = RngHub(seed)
@@ -93,7 +95,7 @@ class StorageClient:
         return self._trial
 
     def _scheme(self, cfg: AccessConfig):
-        return SCHEMES[self.scheme_name](
+        return self._scheme_cls(
             self.cluster, cfg, hub=self.hub, metadata=self.metadata
         )
 

@@ -146,6 +146,10 @@ CODECS: dict[str, Codec] = {
     "raid0+1": ReplicaCodec(),
     "robustore": LTCodec(),
     "robustore-rs": RSGroupCodec(),
+    # Cross-product compositions share the codec of their placement layer.
+    "lt+adaptive": LTCodec(),
+    "mirror+adaptive": ReplicaCodec(),
+    "rs+adaptive": RSGroupCodec(),
 }
 
 

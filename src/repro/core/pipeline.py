@@ -1,0 +1,92 @@
+"""The engine-agnostic access pipeline: one scheme class for any composition.
+
+A :class:`PolicyScheme` binds a :class:`~repro.core.policy.compose.SchemeSpec`
+to the :class:`~repro.core.base.SchemeBase` machinery and delegates every
+access to the composition's layers:
+
+* ``prepare`` — placement policy provisions the balanced layout;
+* ``write`` — write policy commits it (uniform / encode-overlap /
+  speculative rateless);
+* ``read`` — fault reaction plans the read (or short-circuits it), then
+  the dispatch policy runs it against the completion policy's tracker.
+
+The seven scheme modules (``repro.core.raid0`` etc.) are thin shims over
+this class; new compositions need no class at all —
+:func:`scheme_class` synthesizes one from the registry.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+from repro.cluster.metadata import FileRecord
+from repro.core.access import AccessResult
+from repro.core.base import SchemeBase
+from repro.core.policy.compose import COMPOSITIONS, SchemeSpec, composition
+
+__all__ = ["PolicyScheme", "scheme_class"]
+
+
+class PolicyScheme(SchemeBase):
+    """A storage scheme assembled from the policy layers."""
+
+    spec: ClassVar[SchemeSpec]
+
+    def prepare(self, file_name: str, trial: int) -> FileRecord:
+        disks = self.select_disks(trial)
+        pspec = self.spec.placement.plan(self.config, len(disks), trial)
+        return self._register(
+            file_name, disks, pspec.placement, coding=pspec.coding, extra=pspec.extra
+        )
+
+    def write(self, file_name: str, trial: int) -> AccessResult:
+        return self.spec.write.write(self, self.spec, file_name, trial)
+
+    def read(self, file_name: str, trial: int) -> AccessResult:
+        record = self._record(file_name)
+        plan = self.spec.reaction.plan_read(self, record)
+        if isinstance(plan, AccessResult):
+            return plan  # fate sealed before any disk was touched
+        return self.spec.dispatch.read(self, self.spec, record, plan, trial)
+
+
+#: Classes synthesized for registry-only compositions, keyed by name.
+_SYNTHESIZED: dict[str, type[PolicyScheme]] = {}
+
+
+def scheme_class(name: str) -> type[SchemeBase]:
+    """The scheme class for ``name``: a shim if one exists, else synthesized.
+
+    The seven paper schemes have named shim classes (back-compat import
+    paths, scheme-specific constants); every other
+    :data:`~repro.core.policy.compose.COMPOSITIONS` entry gets a class
+    built on the fly.  Raises ``ValueError`` for names in neither.
+    """
+    from repro.core import SCHEMES
+
+    cls = SCHEMES.get(name)
+    if cls is not None:
+        return cls
+    cached = _SYNTHESIZED.get(name)
+    if cached is not None:
+        return cached
+    spec = COMPOSITIONS.get(name)
+    if spec is None:
+        raise ValueError(f"unknown scheme {name!r}")
+    cls = type(
+        f"Composed[{name}]",
+        (PolicyScheme,),
+        {
+            "name": name,
+            "spec": spec,
+            "__doc__": f"Synthesized composition {name!r} (see COMPOSITIONS).",
+        },
+    )
+    _SYNTHESIZED[name] = cls
+    return cls
+
+
+def redundancy_for(name: str, configured: float) -> float:
+    """The redundancy a scheme actually runs at (RAID-0 pins 0.0)."""
+    override = composition(name).redundancy_override
+    return configured if override is None else override

@@ -1,0 +1,152 @@
+"""Completion policies: when an access can finish, and at what decode cost.
+
+Each policy builds a fresh per-access tracker (the mutable state lives in
+:mod:`repro.core.trackers`, not here), converts the tracker's fill time
+into the access completion and cancel times, contributes its result extras
+and trace events, and — where the event-driven reference engine supports
+the semantics — supplies the reference tracker.
+
+The fill/cancel asymmetries the policies encode:
+
+* all-blocks / coverage / parity — done at fill, cancel at fill;
+* LT decode — done one block-decode after fill (incremental peeling hides
+  the rest behind I/O), cancel once decoding is done;
+* grouped RS — cancel at fill (the client decodes locally while disks
+  stand down), done after the pipelined per-group quadratic decode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coding.peeling import PeelingDecoder
+from repro.core.access import decode_tail_s
+from repro.core.policy.base import ReadPlan
+from repro.core.policy.placement import rs_decode_bandwidth_bps
+from repro.core.trackers import (
+    AllBlocksTracker,
+    CoverageTracker,
+    DecoderTracker,
+    GroupedRSTracker,
+    ParityStripeTracker,
+)
+
+
+class _CompletionBase:
+    """Default: finish at fill, no extras, no trace events."""
+
+    wants_order = True
+
+    def finish(self, scheme, tracker, t_fill):
+        return t_fill, t_fill
+
+    def extras(self, scheme, tracker, t_fill, t_done):
+        return {}
+
+    def trace(self, tracer, tracker, t_fill, t_done, consumed):
+        pass
+
+
+class AllBlocksCompletion(_CompletionBase):
+    """RAID-0: every distinct block must arrive."""
+
+    def tracker(self, scheme, record, plan: ReadPlan):
+        return AllBlocksTracker(scheme.config.k)
+
+    def reference_tracker(self, scheme_name, k, graph):
+        return AllBlocksTracker(k)
+
+
+class CoverageCompletion(_CompletionBase):
+    """Replicated layouts: one copy of every original block (id % K)."""
+
+    def tracker(self, scheme, record, plan: ReadPlan):
+        return CoverageTracker(scheme.config.k)
+
+    def reference_tracker(self, scheme_name, k, graph):
+        return CoverageTracker(k)
+
+
+class LTDecodeCompletion(_CompletionBase):
+    """RobuSTore: the incremental LT peeling decoder gates completion."""
+
+    def tracker(self, scheme, record, plan: ReadPlan):
+        return DecoderTracker(PeelingDecoder(record.extra["graph"]))
+
+    def finish(self, scheme, tracker, t_fill):
+        t_done = t_fill + decode_tail_s(scheme.config.block_bytes)
+        return t_done, t_done
+
+    def extras(self, scheme, tracker, t_fill, t_done):
+        return {"reception_overhead": tracker.decoder.reception_overhead}
+
+    def trace(self, tracer, tracker, t_fill, t_done, consumed):
+        if tracer.enabled and np.isfinite(t_fill):
+            # The decode ripple: last arrival -> decoder-complete tail.
+            tracer.span(
+                "scheme.decode_tail",
+                "scheme",
+                t_fill,
+                t_done,
+                track="scheme",
+                args={"reception_overhead": tracker.decoder.reception_overhead},
+            )
+            tracer.instant(
+                "scheme.decode_complete",
+                "scheme",
+                t_fill,
+                track="scheme",
+                args={"blocks_consumed": consumed},
+            )
+
+    def reference_tracker(self, scheme_name, k, graph):
+        if graph is None:
+            raise ValueError("robustore needs the coding graph")
+        return DecoderTracker(PeelingDecoder(graph))
+
+
+class GroupedRSCompletion(_CompletionBase):
+    """RobuSTore-RS: every group fills, then groups decode pipelined.
+
+    RS decoding pipelines *per group*: a group decodes once it fills, one
+    group at a time, at the quadratic-cost RS rate.  With fast parallel
+    disks every group fills almost together and the whole decode
+    serialises after the fill; over a slow WAN the fills stagger and
+    decoding hides behind the transfers (Collins & Plank's regime, §2.3).
+    """
+
+    def tracker(self, scheme, record, plan: ReadPlan):
+        return GroupedRSTracker(record.coding["groups"], record.coding["group"])
+
+    def finish(self, scheme, tracker, t_fill):
+        cfg = scheme.config
+        group = tracker.group_size
+        group_decode_s = group * cfg.block_bytes / rs_decode_bandwidth_bps(group)
+        decoder_free = 0.0
+        for ft in sorted(tracker.fill_times):
+            decoder_free = max(decoder_free, ft) + group_decode_s
+        t_done = (
+            decoder_free if tracker.fill_times and tracker.complete else float("inf")
+        )
+        # The cancel goes out as soon as the groups fill — the client
+        # decodes locally while the disks stand down.
+        return t_done, t_fill
+
+    def extras(self, scheme, tracker, t_fill, t_done):
+        decode_tail = (
+            max(0.0, t_done - t_fill) if np.isfinite(t_done) else float("inf")
+        )
+        return {"decode_tail_s": decode_tail, "group": tracker.group_size}
+
+
+class ParityCompletion(_CompletionBase):
+    """RAID-5: direct arrival or stripe reconstruction; no arrival replay."""
+
+    wants_order = False
+
+    def tracker(self, scheme, record, plan: ReadPlan):
+        return ParityStripeTracker(
+            scheme.config.k,
+            record.extra["stripes"],
+            plan.tracker_args.get("failed_pos"),
+        )

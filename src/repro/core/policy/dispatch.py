@@ -1,0 +1,428 @@
+"""Dispatch policies: how read requests go out and arrivals are consumed.
+
+:class:`SpeculativeDispatch` is the one-shot engine behind RAID-0,
+RRAID-S, RAID-0+1, RAID-5, RobuSTore and RobuSTore-RS: request every
+planned block in a single round, consume arrivals until the completion
+tracker is satisfied, cancel the rest.  :class:`AdaptiveDispatch` is the
+multi-round work-stealing engine behind RRAID-A: request primaries only,
+then hand work from struggling disks to drained ones, one round trip per
+hand-off.
+
+Both engines are completion-agnostic — the composition's completion
+policy decides when "enough" has arrived and what decode tail follows —
+and fault-reaction-agnostic — the reaction policy plans the read and, for
+the speculative engine, may serve a second round after a stall.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.access import (
+    AccessResult,
+    completion_with_order,
+    finalize_read,
+    request_arrival_time,
+    response_arrival_times,
+    serve_read_queues,
+    trace_read_access,
+)
+from repro.disk.service import BlockService
+
+
+class SpeculativeDispatch:
+    """Single-round speculation: request everything, cancel at completion."""
+
+    def read(self, scheme, spec, record, plan, trial) -> AccessResult:
+        cfg = scheme.config
+        completion = spec.completion
+        t0 = scheme.open_latency()
+        streams = serve_read_queues(
+            scheme.cluster,
+            plan.disk_ids,
+            plan.placement,
+            cfg.block_bytes,
+            t0,
+            scheme.service_rng_factory(trial, "read"),
+            record.name,
+        )
+        tracker = completion.tracker(scheme, record, plan)
+        t_fill, consumed, order = completion_with_order(
+            streams, tracker, cfg.block_bytes, cfg.client_bandwidth_bps
+        )
+        rounds = 1
+        if not np.isfinite(t_fill) and scheme.cluster.faults is not None:
+            # Mid-read faults stalled the access: the reaction may build a
+            # second round on the surviving (or recovered) disks.
+            retry = spec.reaction.on_stall(scheme, streams, trial, record.name, t_fill)
+            if retry is not None:
+                streams = streams + retry
+                tracker = completion.tracker(scheme, record, plan)
+                t_fill, consumed, order = completion_with_order(
+                    streams, tracker, cfg.block_bytes, cfg.client_bandwidth_bps
+                )
+                rounds = 2
+                if scheme.tracer.enabled:
+                    scheme.tracer.count("scheme.respeculations")
+        t_done, t_cancel = completion.finish(scheme, tracker, t_fill)
+        net, disk_blocks, hits = finalize_read(
+            streams, scheme.cluster, t_cancel, cfg.block_bytes, record.name
+        )
+        if spec.traced:
+            trace_read_access(
+                scheme.tracer, scheme.name, trial, streams, t0, t_done, consumed,
+                cfg.block_bytes, cfg.data_bytes,
+            )
+        completion.trace(scheme.tracer, tracker, t_fill, t_done, consumed)
+        extra = dict(plan.extra)
+        extra.update(completion.extras(scheme, tracker, t_fill, t_done))
+        if completion.wants_order:
+            # The block ids the client consumed, in arrival order — the
+            # data-path API replays real payload decoding with it.
+            extra["arrival_order"] = order
+        spec.reaction.annotate(scheme, record, extra, t_done, t0)
+        return AccessResult(
+            latency_s=t_done,
+            data_bytes=cfg.data_bytes,
+            network_bytes=net,
+            disk_blocks=disk_blocks,
+            blocks_received=consumed,
+            cache_hits=hits,
+            rounds=rounds,
+            extra=extra,
+        )
+
+
+@dataclass
+class _DiskRun:
+    """Per-disk adaptive-read state."""
+
+    disk_id: int
+    svc: BlockService
+    one_way: float
+    batch_ids: list[int] = field(default_factory=list)
+    completions: np.ndarray = field(default_factory=lambda: np.empty(0))
+    ready: float = 0.0
+    version: int = 0
+    batch_start: float = 0.0
+    avg_block_s: float = float("inf")  # client's observed per-block time
+
+    def pending_at(self, t: float) -> tuple[int, list[int]]:
+        """(#fully served, ids not fully received) at time ``t``.
+
+        The block in flight at ``t`` counts as *unreceived*: cancellation
+        works at physical-request granularity (§5.3.3), so a partially
+        transferred block can be abandoned and re-requested elsewhere.
+        """
+        done = int(np.searchsorted(self.completions, t, side="right"))
+        return done, self.batch_ids[done:]
+
+    def inflight_at(self, t: float) -> int | None:
+        """Id of the block being served at ``t``, if any."""
+        done = int(np.searchsorted(self.completions, t, side="right"))
+        if done < len(self.batch_ids):
+            start = float(self.completions[done - 1]) if done > 0 else self.batch_start
+            if start < t:  # its service actually began before t
+                return self.batch_ids[done]
+        return None
+
+
+class AdaptiveDispatch:
+    """Multi-round adaptive access with work stealing (§6.2.1).
+
+    Reads start by requesting each unit from its primary disk (the
+    placement policy's :meth:`adaptive_units` view).  Whenever a disk
+    drains its queue, the client (one one-way latency later) finds the
+    disk with the most unserved units that the idle disk also holds, and
+    re-requests the second half of that victim's remaining work.  Every
+    hand-off costs a round trip — the engine's sensitivity to network
+    latency (Fig 6-12) — but almost no unit is ever fetched twice, so I/O
+    overhead stays near zero (Fig 6-8).
+
+    Single-holder layouts (LT, grouped RS) have nothing to steal: every
+    disk's primaries are its own stored blocks, so the engine degenerates
+    to one uncancelled round — the honest cost of pairing a coded layout
+    with physical-granularity hand-offs.
+    """
+
+    def read(self, scheme, spec, record, plan, trial) -> AccessResult:
+        cfg = scheme.config
+        completion = spec.completion
+        disks = plan.disk_ids
+        file_name = record.name
+        rng_for = scheme.service_rng_factory(trial, "read")
+        t0 = scheme.open_latency()
+
+        # The placement's adaptive view: round-1 unit ids per disk index,
+        # and which disks can serve each unit.
+        primaries, holder_map = spec.placement.adaptive_units(cfg, record)
+
+        def holders(block: int) -> set[int]:
+            """Disk indices holding a copy of ``block``."""
+            return holder_map.get(block, set())
+
+        runs: list[_DiskRun] = []
+        for idx, disk_id in enumerate(disks):
+            filer = scheme.cluster.filer_of_disk(int(disk_id))
+            runs.append(
+                _DiskRun(
+                    disk_id=int(disk_id),
+                    svc=scheme.cluster.block_service(
+                        int(disk_id), rng_for(int(disk_id))
+                    ),
+                    one_way=filer.link.one_way_s,
+                    ready=request_arrival_time(
+                        scheme.cluster, int(disk_id), t0, filer.link.one_way_s
+                    ),
+                )
+            )
+
+        arrivals: list[tuple[float, int]] = []
+        events: list[tuple[float, int, int]] = []  # (finish, disk idx, version)
+        rounds = 1
+        blocks_fetched = 0
+        served_by: dict[int, int] = {}
+        partial_bytes = 0.0  # fractions delivered by victims before hand-off
+        # Plain-text replicas let the client assemble a block from fractions
+        # fetched off different disks (§6.3.1): frac[bid] is the portion
+        # still to fetch after mid-transfer hand-offs.
+        frac: dict[int, float] = {}
+
+        tracer = scheme.tracer
+
+        def serve_batch(run: _DiskRun, ids: list[int], t_start: float) -> None:
+            nonlocal blocks_fetched, partial_bytes
+            run.version += 1
+            run.batch_ids = list(ids)
+            if not ids:
+                # Drained by theft: the disk is idle *now* and must still
+                # get its hand-off decision, or it would never steal again.
+                run.completions = np.empty(0)
+                run.ready = t_start
+                heapq.heappush(events, (t_start, runs.index(run), run.version))
+                return
+            services = run.svc.block_service_times(len(ids), cfg.block_bytes)
+            services *= np.array([frac.get(b, 1.0) for b in ids])
+            # Callers pass the true start (request arrival / in-flight end);
+            # the previous batch's `ready` is stale after a cancellation.
+            run.batch_start = t_start
+            run.completions = run.svc.completions(
+                services,
+                t_start,
+                reqs_per_item=run.svc.requests_per_block(cfg.block_bytes),
+            )
+            # What the client *observes*: wall time per block including
+            # background dilation — the honest basis for steal decisions.
+            frac_total = max(1e-9, sum(frac.get(b, 1.0) for b in ids))
+            run.avg_block_s = (float(run.completions[-1]) - t_start) / frac_total
+            for bid, t in zip(ids, run.completions):
+                t_client = response_arrival_times(
+                    scheme.cluster, run.disk_id, float(t), run.one_way
+                )
+                arrivals.append((float(t_client), int(bid)))
+                served_by[int(bid)] = runs.index(run)
+            blocks_fetched += len(ids)
+            run.ready = float(run.completions[-1])
+            if tracer.enabled and np.isfinite(run.ready):
+                tracer.span(
+                    "drive.batch",
+                    "drive",
+                    t_start,
+                    run.ready,
+                    track="drive",
+                    args={"disk": run.disk_id, "blocks": len(ids)},
+                )
+            heapq.heappush(events, (run.ready, runs.index(run), run.version))
+
+        # Round 1: each unit's primary disk.  Filesystem-cache hits are
+        # served by the filer at request time and never queue at disks.
+        cache_hits = 0
+        for idx, run in enumerate(runs):
+            ids = primaries[idx]
+            filer = scheme.cluster.filer_of_disk(run.disk_id)
+            cached = filer.cached_blocks(file_name, ids)
+            hit_ids = [b for b, c in zip(ids, cached) if c]
+            for b in hit_ids:
+                t_client = response_arrival_times(
+                    scheme.cluster, run.disk_id, run.ready, run.one_way
+                )
+                arrivals.append((float(t_client), int(b)))
+                served_by[int(b)] = idx
+            filer.record_read(file_name, hit_ids, cfg.block_bytes)
+            cache_hits += len(hit_ids)
+            blocks_fetched += len(hit_ids)
+            serve_batch(run, [b for b, c in zip(ids, cached) if not c], run.ready)
+
+        # Adaptive hand-offs.  The budget is a safety valve far above any
+        # sane hand-off count: past it the client stops re-planning and
+        # lets the outstanding queues drain.
+        handoff_budget = 50 * len(disks)
+        while events:
+            finish, a_idx, version = heapq.heappop(events)
+            a = runs[a_idx]
+            if version != a.version:
+                continue  # stale: this disk's plan was revised
+            if rounds > handoff_budget:
+                continue
+            t_dec = finish + a.one_way  # client learns disk A drained
+
+            # Victim: most unserved blocks that A holds replicas of.
+            best_b, best_elig = None, []
+            for b_idx, b in enumerate(runs):
+                if b_idx == a_idx:
+                    continue
+                _, pending = b.pending_at(t_dec)
+                elig = [x for x in pending if a_idx in holders(x)]
+                if len(elig) > len(best_elig):
+                    best_b, best_elig = b_idx, elig
+            if best_b is None or not best_elig:
+                continue  # nothing worth stealing; A idles
+
+            b = runs[best_b]
+            rounds += 1
+            t_cancel = t_dec + b.one_way
+            if tracer.enabled:
+                # Each hand-off opens a new request round (§6.2.1): the
+                # idle thief re-requests part of the victim's queue.
+                tracer.count("scheme.handoffs")
+                tracer.instant(
+                    "scheme.round",
+                    "scheme",
+                    t_dec,
+                    track="scheme",
+                    args={
+                        "round": rounds,
+                        "thief": a.disk_id,
+                        "victim": b.disk_id,
+                        "eligible": len(best_elig),
+                    },
+                )
+            done, remaining = b.pending_at(t_cancel)
+            inflight = b.inflight_at(t_cancel)
+            elig = [x for x in remaining if a_idx in holders(x)]
+            steal_set = set(elig[len(elig) // 2 :])  # the second half
+            if len(elig) == 1:
+                # Hand-off of a victim's last block: only worthwhile when
+                # the thief is clearly faster (the client compares observed
+                # disk performance, §5.3.1) — otherwise two idle disks
+                # would bounce the block forever.
+                x = elig[0]
+                f = frac.get(x, 1.0)
+                if x == inflight:
+                    pos_x = b.batch_ids.index(x)
+                    victim_left = float(b.completions[pos_x]) - t_cancel
+                else:
+                    victim_left = b.avg_block_s * f
+                thief_time = a.avg_block_s * f + 3 * a.one_way
+                if not thief_time < 0.5 * victim_left:
+                    continue
+            if not steal_set:
+                continue
+            steal = [x for x in remaining if x in steal_set]
+            keep = [x for x in remaining if x not in steal_set]
+
+            # Remove the stale arrivals B would have produced for its
+            # cancelled tail (and its kept blocks, which get re-timed).
+            cancelled = set(remaining)
+            stale = [(t, x) for (t, x) in arrivals if x in cancelled]
+            for item in stale:
+                arrivals.remove(item)
+            blocks_fetched -= len(stale)
+
+            # The block B is transferring when the cancel lands: if stolen,
+            # only its unfetched fraction moves (plain-text replicas can be
+            # assembled from fractions across disks, §6.3.1); if kept, B
+            # finishes it undisturbed.
+            b_start = t_cancel
+            if inflight is not None:
+                pos = b.batch_ids.index(inflight)
+                c_if = float(b.completions[pos])
+                if inflight in steal_set:
+                    # A failed victim (infinite completion) made no
+                    # progress: the whole block moves.
+                    if np.isfinite(c_if):
+                        start_if = float(b.completions[pos - 1]) if pos > 0 else t_cancel
+                        dur = max(c_if - start_if, 1e-12)
+                        left = min(1.0, max(0.0, (c_if - t_cancel) / dur))
+                        before = frac.get(inflight, 1.0)
+                        partial_bytes += before * (1.0 - left) * cfg.block_bytes
+                        frac[inflight] = before * left
+                elif np.isfinite(c_if):
+                    t_client = response_arrival_times(
+                        scheme.cluster, b.disk_id, c_if, b.one_way
+                    )
+                    arrivals.append((float(t_client), int(inflight)))
+                    blocks_fetched += 1
+                    keep = [x for x in keep if x != inflight]
+                    b_start = c_if
+            serve_batch(b, keep, b_start)
+            serve_batch(a, steal, t_dec + a.one_way)
+
+        # Completion: feed arrivals to the composition's tracker in order.
+        arrivals.sort()
+        tracker = completion.tracker(scheme, record, plan)
+        observe = getattr(tracker, "observe", None)
+        t_fill = float("inf")
+        consumed = 0
+        for t, bid in arrivals:
+            consumed += 1
+            if observe is not None:
+                observe(float(t), int(bid))
+            else:
+                tracker.add(int(bid))
+            if tracker.complete:
+                t_fill = float(t)
+                break
+        t_done, _ = completion.finish(scheme, tracker, t_fill)
+
+        # Fetched blocks cross the network once; block fractions delivered
+        # by a victim before a hand-off add a whisker of extra bytes — the
+        # scheme's "just a little more than zero" overhead (Fig 6-8).
+        net_bytes = int(blocks_fetched * cfg.block_bytes + partial_bytes)
+        for run in runs:
+            scheme.cluster.filer_of_disk(run.disk_id).link.account(
+                len(run.batch_ids) * cfg.block_bytes
+            )
+        if tracer.enabled:
+            tracer.count("scheme.reads")
+            tracer.account_bytes("network", net_bytes)
+            tracer.account_bytes("consumed", consumed * cfg.block_bytes)
+            tracer.account_bytes("data", cfg.data_bytes)
+            tracer.span("scheme.open", "scheme", 0.0, t0, track="scheme")
+            if np.isfinite(t_done):
+                tracer.span(
+                    f"scheme.read:{scheme.name}",
+                    "scheme",
+                    0.0,
+                    t_done,
+                    track="scheme",
+                    args={
+                        "trial": trial,
+                        "blocks_consumed": consumed,
+                        "rounds": rounds,
+                    },
+                )
+            else:
+                tracer.count("scheme.failed_reads")
+        completion.trace(tracer, tracker, t_fill, t_done, consumed)
+
+        extra = dict(plan.extra)
+        extra.update(completion.extras(scheme, tracker, t_fill, t_done))
+        extra["handoffs"] = rounds - 1
+        extra["served_by"] = served_by
+        if completion.wants_order:
+            extra["arrival_order"] = [int(b) for _, b in arrivals[:consumed]]
+        spec.reaction.annotate(scheme, record, extra, t_done, t0)
+        return AccessResult(
+            latency_s=t_done,
+            data_bytes=cfg.data_bytes,
+            network_bytes=net_bytes,
+            disk_blocks=blocks_fetched - cache_hits,
+            blocks_received=consumed,
+            cache_hits=cache_hits,
+            rounds=rounds,
+            extra=extra,
+        )

@@ -1,0 +1,240 @@
+"""Write policies: uniform commit, encode-overlap commit, speculative rateless.
+
+Uniform writes push the placement policy's balanced layout to every disk
+and wait for the slowest commit (§6.3.1).  The grouped-RS variant overlaps
+the quadratic-cost group encode with the transfer.  RobuSTore's write is
+speculative and rateless: every disk keeps committing coded blocks from
+its private id stream until the client has seen enough commits to (a)
+reach the target redundancy and (b) guarantee decodability of the
+committed set, then cancels (§4.3.2, §5.2.3 improvement 1) — leaving the
+*unbalanced* placement the read path replays faithfully.
+
+Fail-stop detection is shared: a write whose commit acks never all arrive
+(:func:`acks_incomplete`) resolves through :func:`failed_write_result`,
+the single place a failed write is counted and shaped.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coding.peeling import PeelingDecoder
+from repro.core.access import (
+    AccessResult,
+    request_arrival_time,
+    response_arrival_times,
+    simulate_uniform_write,
+)
+from repro.core.policy.placement import (
+    lt_coding,
+    pooled_graph,
+    rs_decode_bandwidth_bps,
+)
+from repro.disk.service import served_before
+
+
+def acks_incomplete(ack_times) -> bool:
+    """True when some commit ack never arrives (a disk fail-stopped)."""
+    return not np.all(np.isfinite(ack_times))
+
+
+def failed_write_result(scheme, extra: dict) -> AccessResult:
+    """The one shape of a failed write: infinite latency, nothing durable."""
+    if scheme.tracer.enabled:
+        scheme.tracer.count("scheme.failed_writes")
+    return AccessResult(
+        latency_s=float("inf"),
+        data_bytes=scheme.config.data_bytes,
+        network_bytes=0,
+        disk_blocks=0,
+        blocks_received=0,
+        extra=extra,
+    )
+
+
+class UniformWrite:
+    """Write the placement's stored queues to every disk; wait for all."""
+
+    def encode_tail_s(self, scheme, pspec) -> float | None:
+        """Client-side encode time overlapping the transfer, or ``None``."""
+        return None
+
+    def write(self, scheme, spec, file_name, trial) -> AccessResult:
+        cfg = scheme.config
+        disks = scheme.select_disks(trial)
+        pspec = spec.placement.plan(cfg, len(disks), trial)
+        t0 = scheme.open_latency()
+        t_done, net = simulate_uniform_write(
+            scheme.cluster,
+            disks,
+            pspec.placement,
+            cfg.block_bytes,
+            t0,
+            scheme.service_rng_factory(trial, "write"),
+            file_name,
+        )
+        extra = {}
+        encode_s = self.encode_tail_s(scheme, pspec)
+        if encode_s is not None:
+            t_done = max(t_done, t0 + encode_s)
+            extra["encode_s"] = encode_s
+        scheme._register(
+            file_name, disks, pspec.placement, coding=pspec.coding, extra=pspec.extra
+        )
+        total = sum(len(p) for p in pspec.placement)
+        return AccessResult(
+            latency_s=t_done + scheme.metadata.latency_s,  # commit to metadata
+            data_bytes=cfg.data_bytes,
+            network_bytes=net,
+            disk_blocks=total,
+            blocks_received=total,
+            extra=extra,
+        )
+
+
+class EncodeOverlapWrite(UniformWrite):
+    """Grouped RS: the per-word encode rides alongside the uniform I/O.
+
+    RS cannot write speculatively (fixed rate, no rateless stream) and the
+    parity of each word is only available after the group encodes — only
+    the residual beyond the I/O time lands on the latency (encode ~ as
+    slow as decode for RS).
+    """
+
+    def encode_tail_s(self, scheme, pspec) -> float | None:
+        group = pspec.coding["group"]
+        return scheme.config.data_bytes / rs_decode_bandwidth_bps(group)
+
+
+class SpeculativeRatelessWrite:
+    """RobuSTore: rateless commit streams cancelled at decodability."""
+
+    #: Rateless supply multiplier: each disk can commit up to this factor
+    #: times its fair share N/H before running dry.  Must cover the
+    #: fastest-to-average disk speed ratio (~4-6x in the calibrated pool)
+    #: so fast disks never idle mid-write (§5.3.2).  Schemes may override
+    #: via a ``WRITE_SUPPLY_FACTOR`` class attribute.
+    WRITE_SUPPLY_FACTOR = 8
+
+    def write(self, scheme, spec, file_name, trial) -> AccessResult:
+        cfg = scheme.config
+        disks = scheme.select_disks(trial)
+        h = len(disks)
+        target = cfg.n_coded
+        supply = getattr(scheme, "WRITE_SUPPLY_FACTOR", self.WRITE_SUPPLY_FACTOR)
+        per_disk_cap = -(-target * supply // h) + 8
+        graph = pooled_graph(
+            cfg.k,
+            per_disk_cap * h,
+            cfg.lt_c,
+            cfg.lt_delta,
+            trial,
+            checked=False,
+        )
+        rng_for = scheme.service_rng_factory(trial, "write")
+        t0 = scheme.open_latency()
+
+        # Each disk streams ids d, d+H, d+2H, ...; speculative writing keeps
+        # every disk busy until the client cancels.
+        completions: list[np.ndarray] = []
+        one_ways: list[float] = []
+        acks: list[np.ndarray] = []
+        for idx, disk_id in enumerate(disks):
+            disk_id = int(disk_id)
+            filer = scheme.cluster.filer_of_disk(disk_id)
+            one_way = filer.link.one_way_s
+            svc = scheme.cluster.block_service(disk_id, rng_for(disk_id))
+            t_arrive = request_arrival_time(scheme.cluster, disk_id, t0, one_way)
+            c = svc.serve(per_disk_cap, cfg.block_bytes, t_arrive)
+            completions.append(c)
+            one_ways.append(one_way)
+            acks.append(
+                np.asarray(
+                    response_arrival_times(scheme.cluster, disk_id, c, one_way)
+                )
+            )
+
+        # Merge commit acks (commit + one-way back) in time order.
+        ack_times = np.concatenate(acks)
+        ack_ids = np.concatenate(
+            [idx + h * np.arange(c.size) for idx, c in enumerate(completions)]
+        )
+        order = np.argsort(ack_times, kind="stable")
+        ack_times, ack_ids = ack_times[order], ack_ids[order]
+
+        # The writer stops once >= N blocks committed AND the committed set
+        # is decodable (the §5.2.3 writer-side guarantee).
+        decoder = PeelingDecoder(graph)
+        t_enough = None
+        for count, (t, bid) in enumerate(zip(ack_times, ack_ids), start=1):
+            decoder.add(int(bid))
+            if count >= target and decoder.is_complete:
+                t_enough = float(t)
+                break
+        # An infinite t_enough means the decodable target was only reached
+        # by counting acks that never arrive (flushed by a fail-stop).
+        if t_enough is None or not np.isfinite(t_enough):
+            if acks_incomplete(ack_times):
+                # Fault injection killed disks mid-write: the committed set
+                # never reaches a decodable target — the write fails rather
+                # than the supply being undersized.
+                return failed_write_result(
+                    scheme, {"target_blocks": target, "write_failed": True}
+                )
+            raise RuntimeError(
+                "speculative write exhausted its rateless supply; "
+                "increase WRITE_SUPPLY_FACTOR"
+            )
+
+        # Cancel: blocks committed (or in flight) when it reaches each disk
+        # are durable and define the unbalanced placement.
+        placement: list[list[int]] = []
+        net_bytes = 0
+        total_committed = 0
+        for idx, disk_id in enumerate(disks):
+            t_cancel = t_enough + one_ways[idx]
+            committed = served_before(completions[idx], t_cancel)
+            committed = min(committed, per_disk_cap)
+            ids = (idx + h * np.arange(committed)).tolist()
+            placement.append(ids)
+            total_committed += committed
+            nbytes = committed * cfg.block_bytes
+            net_bytes += nbytes
+            filer = scheme.cluster.filer_of_disk(int(disk_id))
+            filer.link.account(nbytes)
+            filer.record_write(file_name, ids, cfg.block_bytes)
+
+        scheme._register(
+            file_name,
+            disks,
+            placement,
+            coding=lt_coding(cfg),
+            extra={"graph": graph, "speculative": True},
+        )
+        tracer = scheme.tracer
+        if tracer.enabled:
+            tracer.count("scheme.writes")
+            tracer.account_bytes("network", net_bytes)
+            tracer.span(
+                f"scheme.write:{scheme.name}",
+                "scheme",
+                0.0,
+                t_enough + scheme.metadata.latency_s,
+                track="scheme",
+                args={
+                    "trial": trial,
+                    "committed": total_committed,
+                    "overshoot": total_committed - target,
+                },
+            )
+            tracer.instant(
+                "scheme.write_cancel", "scheme", t_enough, track="scheme"
+            )
+        return AccessResult(
+            latency_s=t_enough + scheme.metadata.latency_s,
+            data_bytes=cfg.data_bytes,
+            network_bytes=net_bytes,
+            disk_blocks=total_committed,
+            blocks_received=total_committed,
+            extra={"target_blocks": target, "overshoot": total_committed - target},
+        )

@@ -3,85 +3,19 @@
 The baseline every figure compares against.  With no redundancy a read must
 collect *every* block, so the access is gated by the slowest disk — exactly
 the behaviour RobuSTore is designed to escape.
+
+Composition: striped placement x speculative dispatch x all-blocks
+completion x abort-on-loss (see :mod:`repro.core.policy`).
 """
 
 from __future__ import annotations
 
-from repro.core import layout as L
-from repro.core.access import (
-    AccessResult,
-    AllBlocksTracker,
-    completion_with_order,
-    finalize_read,
-    serve_read_queues,
-    simulate_uniform_write,
-    trace_read_access,
-)
-from repro.core.base import SchemeBase
+from repro.core.pipeline import PolicyScheme
+from repro.core.policy.compose import composition
 
 
-class Raid0Scheme(SchemeBase):
+class Raid0Scheme(PolicyScheme):
     """Striping with no redundancy (ignores ``config.redundancy``)."""
 
     name = "raid0"
-
-    def prepare(self, file_name: str, trial: int):
-        disks = self.select_disks(trial)
-        placement = L.striped(self.config.k, len(disks))
-        return self._register(file_name, disks, placement, coding={"algorithm": "none"})
-
-    def write(self, file_name: str, trial: int) -> AccessResult:
-        cfg = self.config
-        disks = self.select_disks(trial)
-        placement = L.striped(cfg.k, len(disks))
-        t0 = self.open_latency()
-        t_done, net = simulate_uniform_write(
-            self.cluster,
-            disks,
-            placement,
-            cfg.block_bytes,
-            t0,
-            self.service_rng_factory(trial, "write"),
-            file_name,
-        )
-        self._register(file_name, disks, placement, coding={"algorithm": "none"})
-        return AccessResult(
-            latency_s=t_done + self.metadata.latency_s,  # commit to metadata
-            data_bytes=cfg.data_bytes,
-            network_bytes=net,
-            disk_blocks=cfg.k,
-            blocks_received=cfg.k,
-        )
-
-    def read(self, file_name: str, trial: int) -> AccessResult:
-        cfg = self.config
-        record = self._record(file_name)
-        t0 = self.open_latency()
-        streams = serve_read_queues(
-            self.cluster,
-            record.disk_ids,
-            record.placement,
-            cfg.block_bytes,
-            t0,
-            self.service_rng_factory(trial, "read"),
-            file_name,
-        )
-        t_done, consumed, order = completion_with_order(
-            streams, AllBlocksTracker(cfg.k), cfg.block_bytes, cfg.client_bandwidth_bps
-        )
-        net, disk_blocks, hits = finalize_read(
-            streams, self.cluster, t_done, cfg.block_bytes, file_name
-        )
-        trace_read_access(
-            self.tracer, self.name, trial, streams, t0, t_done, consumed,
-            cfg.block_bytes, cfg.data_bytes,
-        )
-        return AccessResult(
-            latency_s=t_done,
-            data_bytes=cfg.data_bytes,
-            network_bytes=net,
-            disk_blocks=disk_blocks,
-            blocks_received=consumed,
-            cache_hits=hits,
-            extra={"arrival_order": order},
-        )
+    spec = composition("raid0")

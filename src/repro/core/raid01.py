@@ -6,99 +6,19 @@ mirrors and completes on first-copy coverage.  Fixed redundancy D=1, and —
 unlike RRAID-S's rotated replicas — a block's two copies sit at the *same*
 stripe position of their respective halves, so a slow disk pair can pin
 the same blocks in both mirrors.
+
+Composition: mirrored-stripe placement x speculative dispatch x coverage
+completion x emergent failover (see :mod:`repro.core.policy`).
 """
 
 from __future__ import annotations
 
-from repro.core.access import (
-    AccessResult,
-    CoverageTracker,
-    completion_with_order,
-    finalize_read,
-    serve_read_queues,
-    simulate_uniform_write,
-)
-from repro.core.base import SchemeBase
+from repro.core.pipeline import PolicyScheme
+from repro.core.policy.compose import composition
 
 
-class Raid01Scheme(SchemeBase):
+class Raid01Scheme(PolicyScheme):
     """Mirrored striping (two sets), speculative reads; D fixed at 1."""
 
     name = "raid0+1"
-
-    def _placement(self, n_disks: int):
-        k = self.config.k
-        if n_disks < 2:
-            raise ValueError("RAID-0+1 needs at least two disks")
-        half = n_disks // 2
-        placement = [[] for _ in range(n_disks)]
-        for i in range(k):
-            placement[i % half].append(i)            # mirror set A: ids 0..k-1
-            placement[half + i % half].append(k + i)  # mirror set B: ids k..2k-1
-        return placement
-
-    def prepare(self, file_name: str, trial: int):
-        disks = self.select_disks(trial)
-        return self._register(
-            file_name,
-            disks,
-            self._placement(len(disks)),
-            coding={"algorithm": "mirrored-striping", "replicas": 2},
-        )
-
-    def write(self, file_name: str, trial: int) -> AccessResult:
-        cfg = self.config
-        disks = self.select_disks(trial)
-        placement = self._placement(len(disks))
-        t0 = self.open_latency()
-        t_done, net = simulate_uniform_write(
-            self.cluster,
-            disks,
-            placement,
-            cfg.block_bytes,
-            t0,
-            self.service_rng_factory(trial, "write"),
-            file_name,
-        )
-        self._register(
-            file_name,
-            disks,
-            placement,
-            coding={"algorithm": "mirrored-striping", "replicas": 2},
-        )
-        return AccessResult(
-            latency_s=t_done + self.metadata.latency_s,
-            data_bytes=cfg.data_bytes,
-            network_bytes=net,
-            disk_blocks=2 * cfg.k,
-            blocks_received=2 * cfg.k,
-        )
-
-    def read(self, file_name: str, trial: int) -> AccessResult:
-        cfg = self.config
-        record = self._record(file_name)
-        t0 = self.open_latency()
-        streams = serve_read_queues(
-            self.cluster,
-            record.disk_ids,
-            record.placement,
-            cfg.block_bytes,
-            t0,
-            self.service_rng_factory(trial, "read"),
-            file_name,
-        )
-        t_done, consumed, order = completion_with_order(
-            streams, CoverageTracker(cfg.k), cfg.block_bytes, cfg.client_bandwidth_bps
-        )
-        net, disk_blocks, hits = finalize_read(
-            streams, self.cluster, t_done, cfg.block_bytes, file_name
-        )
-        return AccessResult(
-            latency_s=t_done,
-            data_bytes=cfg.data_bytes,
-            network_bytes=net,
-            disk_blocks=disk_blocks,
-            blocks_received=consumed,
-            cache_hits=hits,
-            extra={"arrival_order": order},
-        )
+    spec = composition("raid0+1")

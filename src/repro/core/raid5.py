@@ -6,219 +6,25 @@ reads touch only the data blocks (parity is dead weight); a read with one
 failed disk runs *degraded* — every stripe that lost a data block must
 fetch its parity and all surviving stripe-mates to reconstruct.  More
 than one failed disk is unrecoverable.
+
+Composition: parity-stripe placement x speculative dispatch x parity
+completion x degraded-read fault reaction (see :mod:`repro.core.policy`).
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.core.access import (
-    AccessResult,
-    completion_time,
-    finalize_read,
-    serve_read_queues,
-    simulate_uniform_write,
-)
-from repro.core.base import SchemeBase
-
-#: Id offset distinguishing parity blocks from data blocks.
-PARITY_BASE = 1 << 20
+from repro.core.pipeline import PolicyScheme
+from repro.core.policy.compose import composition
+from repro.core.policy.placement import ParityStripePlacement
+from repro.core.trackers import PARITY_BASE  # noqa: F401  (re-export)
 
 
-class Raid5Scheme(SchemeBase):
+class Raid5Scheme(PolicyScheme):
     """Striping + rotating parity; redundancy is fixed at 1/(H-1)."""
 
     name = "raid5"
+    spec = composition("raid5")
 
     def _layout(self, n_disks: int):
-        """Return (placement incl. parity, stripes).
-
-        Stripe ``s`` holds data blocks ``s*(H-1) .. s*(H-1)+H-2`` and one
-        parity block (id ``PARITY_BASE + s``) on disk ``H-1 - (s mod H)``.
-        """
-        k = self.config.k
-        h = n_disks
-        if h < 2:
-            raise ValueError("RAID-5 needs at least two disks")
-        per_stripe = h - 1
-        n_stripes = -(-k // per_stripe)
-        placement = [[] for _ in range(h)]
-        stripes = []
-        for s in range(n_stripes):
-            parity_disk = h - 1 - (s % h)
-            data = list(range(s * per_stripe, min(k, (s + 1) * per_stripe)))
-            members = []
-            d = 0
-            for b in data:
-                if d == parity_disk:
-                    d += 1
-                placement[d % h].append(b)
-                members.append((b, d % h))
-                d += 1
-            placement[parity_disk].append(PARITY_BASE + s)
-            stripes.append({"data": members, "parity_disk": parity_disk, "id": s})
-        return placement, stripes
-
-    def prepare(self, file_name: str, trial: int):
-        disks = self.select_disks(trial)
-        placement, stripes = self._layout(len(disks))
-        return self._register(
-            file_name,
-            disks,
-            placement,
-            coding={"algorithm": "parity", "stripes": len(stripes)},
-            extra={"stripes": stripes},
-        )
-
-    def write(self, file_name: str, trial: int) -> AccessResult:
-        cfg = self.config
-        disks = self.select_disks(trial)
-        placement, stripes = self._layout(len(disks))
-        t0 = self.open_latency()
-        t_done, net = simulate_uniform_write(
-            self.cluster,
-            disks,
-            placement,
-            cfg.block_bytes,
-            t0,
-            self.service_rng_factory(trial, "write"),
-            file_name,
-        )
-        self._register(
-            file_name,
-            disks,
-            placement,
-            coding={"algorithm": "parity", "stripes": len(stripes)},
-            extra={"stripes": stripes},
-        )
-        total = sum(len(p) for p in placement)
-        return AccessResult(
-            latency_s=t_done + self.metadata.latency_s,
-            data_bytes=cfg.data_bytes,
-            network_bytes=net,
-            disk_blocks=total,
-            blocks_received=total,
-        )
-
-    def read(self, file_name: str, trial: int) -> AccessResult:
-        cfg = self.config
-        record = self._record(file_name)
-        stripes = record.extra["stripes"]
-        failed_positions = {
-            idx
-            for idx, d in enumerate(record.disk_ids)
-            if self.cluster.disk_state(int(d)).failed
-        }
-        if len(failed_positions) > 1:
-            return AccessResult(
-                latency_s=float("inf"),
-                data_bytes=cfg.data_bytes,
-                network_bytes=0,
-                disk_blocks=0,
-                blocks_received=0,
-                extra={"degraded": True, "unrecoverable": True},
-            )
-
-        # Request plan: all data blocks from surviving disks; for stripes
-        # that lost a data block, also the parity (if its disk survived).
-        degraded = bool(failed_positions)
-        failed_pos = next(iter(failed_positions), None)
-        placement = [[] for _ in record.disk_ids]
-        recoverable = True
-        for idx, blocks in enumerate(record.placement):
-            if idx == failed_pos:
-                continue
-            placement[idx] = [
-                b
-                for b in blocks
-                if b < PARITY_BASE
-                or degraded
-                and self._stripe_lost_data(stripes[b - PARITY_BASE], failed_pos)
-            ]
-        if degraded:
-            for stripe in stripes:
-                if self._stripe_lost_data(stripe, failed_pos) and stripe[
-                    "parity_disk"
-                ] == failed_pos:
-                    recoverable = False  # lost both a data block and parity? impossible
-        if not recoverable:  # pragma: no cover - single failure never hits this
-            return AccessResult(float("inf"), cfg.data_bytes, 0, 0, 0)
-
-        t0 = self.open_latency()
-        streams = serve_read_queues(
-            self.cluster,
-            record.disk_ids,
-            placement,
-            cfg.block_bytes,
-            t0,
-            self.service_rng_factory(trial, "read"),
-            file_name,
-        )
-        # Completion: every data block either arrives directly or is
-        # reconstructed once its full surviving stripe (incl. parity) is in.
-        tracker = _Raid5Tracker(cfg.k, stripes, failed_pos)
-        t_done, consumed = completion_time(
-            streams, tracker, cfg.block_bytes, cfg.client_bandwidth_bps
-        )
-        net, disk_blocks, hits = finalize_read(
-            streams, self.cluster, t_done, cfg.block_bytes, file_name
-        )
-        return AccessResult(
-            latency_s=t_done,
-            data_bytes=cfg.data_bytes,
-            network_bytes=net,
-            disk_blocks=disk_blocks,
-            blocks_received=consumed,
-            cache_hits=hits,
-            extra={"degraded": degraded},
-        )
-
-    @staticmethod
-    def _stripe_lost_data(stripe: dict, failed_pos) -> bool:
-        return any(d == failed_pos for _, d in stripe["data"])
-
-
-class _Raid5Tracker:
-    """Data blocks arrive directly or via stripe reconstruction."""
-
-    def __init__(self, k: int, stripes: list, failed_pos) -> None:
-        self.k = k
-        self._have = np.zeros(k, dtype=bool)
-        self._count = 0
-        self._failed_pos = failed_pos
-        # For each stripe with a lost block: remaining pieces to XOR.
-        self._stripe_need: dict[int, set] = {}
-        self._lost_block: dict[int, int] = {}
-        if failed_pos is not None:
-            for stripe in stripes:
-                lost = [b for b, d in stripe["data"] if d == failed_pos]
-                if lost:
-                    sid = stripe["id"]
-                    self._lost_block[sid] = lost[0]
-                    self._stripe_need[sid] = {
-                        b for b, d in stripe["data"] if d != failed_pos
-                    } | {PARITY_BASE + sid}
-        self._by_member: dict[int, list[int]] = {}
-        for sid, members in self._stripe_need.items():
-            for m in members:
-                self._by_member.setdefault(m, []).append(sid)
-
-    def add(self, block_id: int) -> None:
-        if block_id < PARITY_BASE and not self._have[block_id]:
-            self._have[block_id] = True
-            self._count += 1
-        for sid in self._by_member.get(block_id, []):
-            need = self._stripe_need.get(sid)
-            if need is None:
-                continue
-            need.discard(block_id)
-            if not need:
-                del self._stripe_need[sid]
-                lost = self._lost_block[sid]
-                if not self._have[lost]:
-                    self._have[lost] = True
-                    self._count += 1
-
-    @property
-    def complete(self) -> bool:
-        return self._count >= self.k
+        """(placement incl. parity, stripes) — kept for tests and tooling."""
+        return ParityStripePlacement.layout(self.config.k, n_disks)

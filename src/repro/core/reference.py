@@ -21,14 +21,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.cluster.server import Cluster
-from repro.coding.peeling import PeelingDecoder
-from repro.core.access import (
-    AllBlocksTracker,
-    CompletionTracker,
-    CoverageTracker,
-    DecoderTracker,
-    decode_tail_s,
-)
+from repro.core.access import CompletionTracker, decode_tail_s
+from repro.core.policy.compose import COMPOSITIONS
 from repro.disk.drive import DiskDrive, DiskRequest
 from repro.disk.geometry import SECTOR_BYTES
 from repro.disk.mechanics import DiskMechanics
@@ -111,15 +105,17 @@ class ReferenceDrive:
 
 
 def _make_tracker(scheme: str, k: int, graph) -> CompletionTracker:
-    if scheme == "raid0":
-        return AllBlocksTracker(k)
-    if scheme in ("rraid-s", "rraid-a"):
-        return CoverageTracker(k)
-    if scheme == "robustore":
-        if graph is None:
-            raise ValueError("robustore needs the coding graph")
-        return DecoderTracker(PeelingDecoder(graph))
-    raise ValueError(f"reference engine does not implement {scheme!r}")
+    """The composition's completion tracker, built for the reference engine.
+
+    Dispatches through the scheme's completion policy: completions that
+    support the event-driven engine expose ``reference_tracker``; the rest
+    (grouped RS, parity reconstruction) are rejected.
+    """
+    spec = COMPOSITIONS.get(scheme)
+    build = getattr(spec.completion, "reference_tracker", None) if spec else None
+    if build is None:
+        raise ValueError(f"reference engine does not implement {scheme!r}")
+    return build(scheme, k, graph)
 
 
 def reference_read(

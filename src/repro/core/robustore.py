@@ -8,74 +8,29 @@ client has seen enough commits to (a) reach the target redundancy and
 (b) guarantee decodability of the committed set, then cancels (§4.3.2,
 §5.2.3 improvement 1).  Speculative writes leave an *unbalanced* placement
 — fast disks hold more blocks — which the read path replays faithfully.
+
+Composition: rateless-coded placement x speculative dispatch x LT-decode
+completion x re-speculation fault reaction x speculative rateless write
+(see :mod:`repro.core.policy`); the LT graph pool lives in
+:mod:`repro.core.policy.placement`.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.coding.lt import ImprovedLTCode, LTGraph
-from repro.coding.peeling import PeelingDecoder
-from repro.core import layout as L
-from repro.core.access import (
-    AccessResult,
-    DecoderTracker,
-    completion_with_order,
-    decode_tail_s,
-    finalize_read,
-    request_arrival_time,
-    response_arrival_times,
-    serve_read_queues,
-    trace_read_access,
+from repro.core.pipeline import PolicyScheme
+from repro.core.policy.compose import composition
+from repro.core.policy.placement import (  # noqa: F401  (re-exports)
+    GRAPH_POOL_SIZE,
+    _GRAPH_POOL,
+    pooled_graph,
 )
-from repro.core.base import SchemeBase
-from repro.disk.service import served_before
-from repro.faults.inject import surviving_blocks
-from repro.sim.rng import stable_seed
-
-#: Distinct graphs rotated across trials, mimicking per-simulation graph
-#: regeneration at bounded cost.
-GRAPH_POOL_SIZE = 4
-
-_GRAPH_POOL: dict[tuple, list[LTGraph]] = {}
 
 
-def pooled_graph(
-    k: int,
-    n: int,
-    c: float,
-    delta: float,
-    trial: int,
-    pool_size: int = GRAPH_POOL_SIZE,
-    checked: bool = True,
-) -> LTGraph:
-    """An LT graph for (k, n), rotated by trial.
-
-    ``checked=True`` enforces the §5.2.3 decodability guarantee over the
-    full block set (what a balanced write stores).  Speculative writes use
-    ``checked=False`` — their much larger rateless margins would make the
-    full-set check needlessly expensive, and the writer gates completion
-    on the *committed* set decoding anyway.
-    """
-    key = (k, n, round(c, 6), round(delta, 6), checked)
-    graphs = _GRAPH_POOL.setdefault(key, [])
-    idx = trial % pool_size
-    while len(graphs) <= idx:
-        code = ImprovedLTCode(k, c=c, delta=delta)
-        rng = np.random.default_rng(stable_seed("graph-pool", *key, len(graphs)))
-        if checked:
-            graphs.append(code.build_graph(n, rng))
-        else:
-            graph = LTGraph(k)
-            code.extend_graph(graph, n, rng)
-            graphs.append(graph)
-    return graphs[idx]
-
-
-class RobuStoreScheme(SchemeBase):
+class RobuStoreScheme(PolicyScheme):
     """Erasure-coded redundancy with speculative reads and writes."""
 
     name = "robustore"
+    spec = composition("robustore")
 
     #: Rateless supply multiplier for speculative writes: each disk can
     #: commit up to this factor times its fair share N/H before running
@@ -88,312 +43,3 @@ class RobuStoreScheme(SchemeBase):
     #: background rebuild (``extra["repair_triggered"]``;
     #: :func:`repro.faults.inject.maybe_repair` acts on it).
     REPAIR_REDUNDANCY_FLOOR = 0.5
-
-    def _graph(self, trial: int, n: int | None = None) -> LTGraph:
-        cfg = self.config
-        return pooled_graph(
-            cfg.k, n if n is not None else cfg.n_coded, cfg.lt_c, cfg.lt_delta, trial
-        )
-
-    def _coding_descriptor(self) -> dict:
-        cfg = self.config
-        return {
-            "algorithm": "lt",
-            "k": cfg.k,
-            "n": cfg.n_coded,
-            "c": cfg.lt_c,
-            "delta": cfg.lt_delta,
-        }
-
-    # -- provisioning -------------------------------------------------------------
-    def prepare(self, file_name: str, trial: int):
-        cfg = self.config
-        disks = self.select_disks(trial)
-        graph = self._graph(trial)
-        placement = L.coded_balanced(cfg.n_coded, len(disks))
-        return self._register(
-            file_name,
-            disks,
-            placement,
-            coding=self._coding_descriptor(),
-            extra={"graph": graph},
-        )
-
-    # -- read -----------------------------------------------------------------------
-    def read(self, file_name: str, trial: int) -> AccessResult:
-        cfg = self.config
-        record = self._record(file_name)
-        graph: LTGraph = record.extra["graph"]
-        t0 = self.open_latency()
-        streams = serve_read_queues(
-            self.cluster,
-            record.disk_ids,
-            record.placement,
-            cfg.block_bytes,
-            t0,
-            self.service_rng_factory(trial, "read"),
-            file_name,
-        )
-        decoder = PeelingDecoder(graph)
-
-        t_finish, consumed, order = completion_with_order(
-            streams, DecoderTracker(decoder), cfg.block_bytes, cfg.client_bandwidth_bps
-        )
-        rounds = 1
-        if not np.isfinite(t_finish) and self.cluster.faults is not None:
-            # Mid-read faults stalled the decode: re-speculate on the
-            # surviving (or recovered) disks and merge the second round.
-            retry = self._respeculate(streams, trial, file_name)
-            if retry is not None:
-                streams = streams + retry
-                decoder = PeelingDecoder(graph)
-                t_finish, consumed, order = completion_with_order(
-                    streams,
-                    DecoderTracker(decoder),
-                    cfg.block_bytes,
-                    cfg.client_bandwidth_bps,
-                )
-                rounds = 2
-                if self.tracer.enabled:
-                    self.tracer.count("scheme.respeculations")
-        t_done = t_finish + decode_tail_s(cfg.block_bytes)
-        net, disk_blocks, hits = finalize_read(
-            streams, self.cluster, t_done, cfg.block_bytes, file_name
-        )
-        tracer = self.tracer
-        trace_read_access(
-            tracer, self.name, trial, streams, t0, t_done, consumed,
-            cfg.block_bytes, cfg.data_bytes,
-        )
-        if tracer.enabled and np.isfinite(t_finish):
-            # The decode ripple: last arrival -> decoder-complete tail.
-            tracer.span(
-                "scheme.decode_tail",
-                "scheme",
-                t_finish,
-                t_done,
-                track="scheme",
-                args={"reception_overhead": decoder.reception_overhead},
-            )
-            tracer.instant(
-                "scheme.decode_complete",
-                "scheme",
-                t_finish,
-                track="scheme",
-                args={"blocks_consumed": consumed},
-            )
-        extra = {
-            "reception_overhead": decoder.reception_overhead,
-            # The coded-block ids the client consumed, in arrival order
-            # — the data-path API replays real payload decoding with it.
-            "arrival_order": order,
-        }
-        injector = self.cluster.faults
-        if injector is not None:
-            surviving = surviving_blocks(injector, record)
-            surv_red = surviving / cfg.k - 1.0
-            extra["surviving_redundancy"] = surv_red
-            extra["repair_triggered"] = bool(
-                surv_red < self.REPAIR_REDUNDANCY_FLOOR * cfg.redundancy
-            )
-            if extra["repair_triggered"] and tracer.enabled:
-                tracer.count("scheme.repairs_triggered")
-                tracer.instant(
-                    "scheme.repair_trigger",
-                    "scheme",
-                    t_done if np.isfinite(t_done) else t0,
-                    track="scheme",
-                    args={"surviving_redundancy": surv_red},
-                )
-        return AccessResult(
-            latency_s=t_done,
-            data_bytes=cfg.data_bytes,
-            network_bytes=net,
-            disk_blocks=disk_blocks,
-            blocks_received=consumed,
-            cache_hits=hits,
-            rounds=rounds,
-            extra=extra,
-        )
-
-    def _respeculate(self, streams, trial: int, file_name: str):
-        """Build the second-round streams after a fault-stalled decode.
-
-        The client notices the stall once every finite round-1 arrival has
-        drained without completing the decode.  Blocks whose arrivals never
-        materialised are re-requested from their disks — skipping disks that
-        are permanently gone, and waiting for the next recovery when every
-        stalled disk is still down at the stall instant.  Returns ``None``
-        when no disk can serve a second round (the read genuinely fails).
-        """
-        cfg = self.config
-        injector = self.cluster.faults
-        t0 = self.open_latency()
-        pending: dict[int, list[int]] = {}
-        for s in streams:
-            pend = s.block_ids[~np.isfinite(s.arrivals)]
-            if pend.size and not injector.permanently_failed(s.disk_id):
-                pending[s.disk_id] = [int(b) for b in pend]
-        if not pending:
-            return None
-        # The client observes the stall no earlier than (a) its last finite
-        # arrival and (b) the fail-stop that flushed each pending queue; it
-        # re-requests once every pending disk has restarted.
-        finite = [s.arrivals[np.isfinite(s.arrivals)] for s in streams]
-        finite = np.concatenate(finite) if finite else np.empty(0)
-        t_retry = float(finite.max()) if finite.size else t0
-        for d in pending:
-            tl = injector.timeline(d)
-            flush = tl.next_fail_after(t0)
-            if np.isfinite(flush):
-                t_retry = max(t_retry, tl.resume_time(flush))
-        disks = [d for d in sorted(pending) if not injector.down_at(d, t_retry)]
-        if not disks:
-            return None
-        if self.tracer.enabled:
-            self.tracer.instant(
-                "scheme.respeculate",
-                "scheme",
-                t_retry,
-                track="scheme",
-                args={"disks": len(disks), "blocks": sum(len(pending[d]) for d in disks)},
-            )
-        return serve_read_queues(
-            self.cluster,
-            disks,
-            [pending[d] for d in disks],
-            cfg.block_bytes,
-            t_retry,
-            self.service_rng_factory(trial, "read-retry"),
-            file_name,
-        )
-
-    # -- speculative write --------------------------------------------------------------
-    def write(self, file_name: str, trial: int) -> AccessResult:
-        cfg = self.config
-        disks = self.select_disks(trial)
-        h = len(disks)
-        target = cfg.n_coded
-        per_disk_cap = -(-target * self.WRITE_SUPPLY_FACTOR // h) + 8
-        graph = pooled_graph(
-            cfg.k,
-            per_disk_cap * h,
-            cfg.lt_c,
-            cfg.lt_delta,
-            trial,
-            checked=False,
-        )
-        rng_for = self.service_rng_factory(trial, "write")
-        t0 = self.open_latency()
-
-        # Each disk streams ids d, d+H, d+2H, ...; speculative writing keeps
-        # every disk busy until the client cancels.
-        completions: list[np.ndarray] = []
-        one_ways: list[float] = []
-        acks: list[np.ndarray] = []
-        for idx, disk_id in enumerate(disks):
-            disk_id = int(disk_id)
-            filer = self.cluster.filer_of_disk(disk_id)
-            one_way = filer.link.one_way_s
-            svc = self.cluster.block_service(disk_id, rng_for(disk_id))
-            t_arrive = request_arrival_time(self.cluster, disk_id, t0, one_way)
-            c = svc.serve(per_disk_cap, cfg.block_bytes, t_arrive)
-            completions.append(c)
-            one_ways.append(one_way)
-            acks.append(
-                np.asarray(
-                    response_arrival_times(self.cluster, disk_id, c, one_way)
-                )
-            )
-
-        # Merge commit acks (commit + one-way back) in time order.
-        ack_times = np.concatenate(acks)
-        ack_ids = np.concatenate(
-            [idx + h * np.arange(c.size) for idx, c in enumerate(completions)]
-        )
-        order = np.argsort(ack_times, kind="stable")
-        ack_times, ack_ids = ack_times[order], ack_ids[order]
-
-        # The writer stops once >= N blocks committed AND the committed set
-        # is decodable (the §5.2.3 writer-side guarantee).
-        decoder = PeelingDecoder(graph)
-        t_enough = None
-        for count, (t, bid) in enumerate(zip(ack_times, ack_ids), start=1):
-            decoder.add(int(bid))
-            if count >= target and decoder.is_complete:
-                t_enough = float(t)
-                break
-        # An infinite t_enough means the decodable target was only reached
-        # by counting acks that never arrive (flushed by a fail-stop).
-        if t_enough is None or not np.isfinite(t_enough):
-            if not np.all(np.isfinite(ack_times)):
-                # Fault injection killed disks mid-write: the committed set
-                # never reaches a decodable target — the write fails rather
-                # than the supply being undersized.
-                if self.tracer.enabled:
-                    self.tracer.count("scheme.failed_writes")
-                return AccessResult(
-                    latency_s=float("inf"),
-                    data_bytes=cfg.data_bytes,
-                    network_bytes=0,
-                    disk_blocks=0,
-                    blocks_received=0,
-                    extra={"target_blocks": target, "write_failed": True},
-                )
-            raise RuntimeError(
-                "speculative write exhausted its rateless supply; "
-                "increase WRITE_SUPPLY_FACTOR"
-            )
-
-        # Cancel: blocks committed (or in flight) when it reaches each disk
-        # are durable and define the unbalanced placement.
-        placement: list[list[int]] = []
-        net_bytes = 0
-        total_committed = 0
-        for idx, disk_id in enumerate(disks):
-            t_cancel = t_enough + one_ways[idx]
-            committed = served_before(completions[idx], t_cancel)
-            committed = min(committed, per_disk_cap)
-            ids = (idx + h * np.arange(committed)).tolist()
-            placement.append(ids)
-            total_committed += committed
-            nbytes = committed * cfg.block_bytes
-            net_bytes += nbytes
-            filer = self.cluster.filer_of_disk(int(disk_id))
-            filer.link.account(nbytes)
-            filer.record_write(file_name, ids, cfg.block_bytes)
-
-        self._register(
-            file_name,
-            disks,
-            placement,
-            coding=self._coding_descriptor(),
-            extra={"graph": graph, "speculative": True},
-        )
-        tracer = self.tracer
-        if tracer.enabled:
-            tracer.count("scheme.writes")
-            tracer.account_bytes("network", net_bytes)
-            tracer.span(
-                f"scheme.write:{self.name}",
-                "scheme",
-                0.0,
-                t_enough + self.metadata.latency_s,
-                track="scheme",
-                args={
-                    "trial": trial,
-                    "committed": total_committed,
-                    "overshoot": total_committed - target,
-                },
-            )
-            tracer.instant(
-                "scheme.write_cancel", "scheme", t_enough, track="scheme"
-            )
-        return AccessResult(
-            latency_s=t_enough + self.metadata.latency_s,
-            data_bytes=cfg.data_bytes,
-            network_bytes=net_bytes,
-            disk_blocks=total_committed,
-            blocks_received=total_committed,
-            extra={"target_blocks": target, "overshoot": total_committed - target},
-        )

@@ -15,222 +15,32 @@ Two costs emerge, exactly as §5.2.1 argues:
   (LT hides all but one block of decode behind I/O);
 * **group skew** — completion needs the *slowest group* to fill, giving
   up part of the any-blocks flexibility of a single long rateless word.
+
+Composition: grouped-RS placement x speculative dispatch x grouped-RS
+completion x encode-overlap write (see :mod:`repro.core.policy`); the
+decode-bandwidth model lives in :mod:`repro.core.policy.placement`.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.core import layout as L
-from repro.core.access import (
-    AccessResult,
-    finalize_read,
-    serve_read_queues,
+from repro.core.pipeline import PolicyScheme
+from repro.core.policy.compose import composition
+from repro.core.policy.placement import (  # noqa: F401  (re-exports)
+    RS_DECODE_MBPS,
+    rs_decode_bandwidth_bps,
 )
-from repro.core.base import SchemeBase
-
-#: Measured GF(256) RS decode bandwidth by word length on this class of
-#: host (see Table 5-1 bench); interpolated linearly in 1/K.
-RS_DECODE_MBPS = {4: 100.0, 8: 43.0, 16: 26.0, 32: 13.0, 64: 6.5, 128: 3.2}
+from repro.core.trackers import GroupedRSTracker  # noqa: F401  (re-export)
 
 
-def rs_decode_bandwidth_bps(group: int) -> float:
-    """Approximate RS decode bandwidth for a given word length."""
-    ks = sorted(RS_DECODE_MBPS)
-    if group <= ks[0]:
-        return RS_DECODE_MBPS[ks[0]] * (1 << 20)
-    if group >= ks[-1]:
-        # Quadratic cost: bandwidth ~ 1/K beyond the table.
-        return RS_DECODE_MBPS[ks[-1]] * ks[-1] / group * (1 << 20)
-    for lo, hi in zip(ks, ks[1:]):
-        if lo <= group <= hi:
-            f = (group - lo) / (hi - lo)
-            return ((1 - f) * RS_DECODE_MBPS[lo] + f * RS_DECODE_MBPS[hi]) * (1 << 20)
-    raise AssertionError("unreachable")
-
-
-class GroupedRSTracker:
-    """Complete when every RS group holds >= group_size distinct blocks."""
-
-    def __init__(self, n_groups: int, group_size: int) -> None:
-        self.group_size = group_size
-        self._counts = np.zeros(n_groups, dtype=np.int64)
-        self._filled = 0
-        self._seen: set[int] = set()
-        self.n_groups = n_groups
-
-    def add(self, block_id: int) -> None:
-        if block_id in self._seen:
-            return
-        self._seen.add(block_id)
-        g = block_id >> 20  # group packed in the high bits
-        if self._counts[g] < self.group_size:
-            self._counts[g] += 1
-            if self._counts[g] == self.group_size:
-                self._filled += 1
-
-    @property
-    def complete(self) -> bool:
-        return self._filled >= self.n_groups
-
-
-class RobuStoreRSScheme(SchemeBase):
+class RobuStoreRSScheme(PolicyScheme):
     """Speculative access over grouped Reed-Solomon words."""
 
     name = "robustore-rs"
+    spec = composition("robustore-rs")
 
     #: Originals per RS word (<= 128 keeps N <= 256 at 1x redundancy).
     GROUP = 32
 
     def _grouping(self):
-        cfg = self.config
-        group = min(self.GROUP, cfg.k)
-        n_groups = -(-cfg.k // group)
-        coded_per_group = max(
-            group, int(round(group * (1.0 + cfg.redundancy)))
-        )
-        coded_per_group = min(coded_per_group, 256)
-        return group, n_groups, coded_per_group
-
-    def _placement(self, n_disks: int):
-        """Interleave every group's coded blocks across all disks.
-
-        Block id = (group << 20) | index-within-group.
-        """
-        group, n_groups, coded_per_group = self._grouping()
-        ids = [
-            (g << 20) | j for j in range(coded_per_group) for g in range(n_groups)
-        ]
-        placement = [[] for _ in range(n_disks)]
-        for pos, bid in enumerate(ids):
-            placement[pos % n_disks].append(bid)
-        return placement
-
-    def prepare(self, file_name: str, trial: int):
-        disks = self.select_disks(trial)
-        group, n_groups, coded_per_group = self._grouping()
-        return self._register(
-            file_name,
-            disks,
-            self._placement(len(disks)),
-            coding={
-                "algorithm": "reed-solomon",
-                "group": group,
-                "groups": n_groups,
-                "coded_per_group": coded_per_group,
-            },
-        )
-
-    def write(self, file_name: str, trial: int) -> AccessResult:
-        """Uniform write of every group's coded blocks.
-
-        RS cannot write speculatively (fixed rate, no rateless stream) and
-        the parity of each word is only available after the group encodes
-        — the encode time rides the critical path alongside the I/O.
-        """
-        from repro.core.access import simulate_uniform_write
-
-        cfg = self.config
-        disks = self.select_disks(trial)
-        group, n_groups, coded_per_group = self._grouping()
-        placement = self._placement(len(disks))
-        t0 = self.open_latency()
-        t_io, net = simulate_uniform_write(
-            self.cluster,
-            disks,
-            placement,
-            cfg.block_bytes,
-            t0,
-            self.service_rng_factory(trial, "write"),
-            file_name,
-        )
-        # Encode overlaps with transfer; only the residual beyond the I/O
-        # time lands on the latency (encode ~ as slow as decode for RS).
-        encode_s = cfg.data_bytes / rs_decode_bandwidth_bps(group)
-        t_done = max(t_io, t0 + encode_s)
-        self._register(
-            file_name,
-            disks,
-            placement,
-            coding={
-                "algorithm": "reed-solomon",
-                "group": group,
-                "groups": n_groups,
-                "coded_per_group": coded_per_group,
-            },
-        )
-        total = sum(len(p) for p in placement)
-        return AccessResult(
-            latency_s=t_done + self.metadata.latency_s,
-            data_bytes=cfg.data_bytes,
-            network_bytes=net,
-            disk_blocks=total,
-            blocks_received=total,
-            extra={"encode_s": encode_s},
-        )
-
-    def read(self, file_name: str, trial: int) -> AccessResult:
-        cfg = self.config
-        record = self._record(file_name)
-        group = record.coding["group"]
-        n_groups = record.coding["groups"]
-        t0 = self.open_latency()
-        streams = serve_read_queues(
-            self.cluster,
-            record.disk_ids,
-            record.placement,
-            cfg.block_bytes,
-            t0,
-            self.service_rng_factory(trial, "read"),
-            file_name,
-        )
-        from repro.core.access import merged_arrival_order
-
-        times, ids = merged_arrival_order(
-            streams, cfg.block_bytes, cfg.client_bandwidth_bps
-        )
-        tracker = GroupedRSTracker(n_groups, group)
-        fill_times: list[float] = []
-        t_fill = float("inf")
-        consumed = 0
-        prev_filled = 0
-        for t, bid in zip(times, ids):
-            consumed += 1
-            tracker.add(int(bid))
-            if tracker._filled > prev_filled:
-                fill_times.extend([float(t)] * (tracker._filled - prev_filled))
-                prev_filled = tracker._filled
-            if tracker.complete:
-                t_fill = float(t)
-                break
-
-        # RS decoding pipelines *per group*: a group decodes once it fills,
-        # one group at a time, at the quadratic-cost RS rate.  With fast
-        # parallel disks every group fills almost together and the whole
-        # decode serialises after t_fill; over a slow WAN the fills stagger
-        # and decoding hides behind the transfers (Collins & Plank's
-        # regime, §2.3).
-        group_decode_s = group * cfg.block_bytes / rs_decode_bandwidth_bps(group)
-        decoder_free = 0.0
-        for ft in sorted(fill_times):
-            decoder_free = max(decoder_free, ft) + group_decode_s
-        t_done = decoder_free if fill_times and tracker.complete else float("inf")
-        # The cancel goes out as soon as the groups fill — the client
-        # decodes locally while the disks stand down.
-        net, disk_blocks, hits = finalize_read(
-            streams, self.cluster, t_fill, cfg.block_bytes, file_name
-        )
-        decode_tail = max(0.0, t_done - t_fill) if np.isfinite(t_done) else float("inf")
-        return AccessResult(
-            latency_s=t_done,
-            data_bytes=cfg.data_bytes,
-            network_bytes=net,
-            disk_blocks=disk_blocks,
-            blocks_received=consumed,
-            cache_hits=hits,
-            extra={
-                "decode_tail_s": decode_tail,
-                "group": group,
-                "arrival_order": [int(b) for b in ids[:consumed]],
-            },
-        )
+        """(group size, #groups, coded blocks per group) — kept for tests."""
+        return self.spec.placement.grouping(self.config)

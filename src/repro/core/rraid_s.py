@@ -4,100 +4,19 @@ Replica ``r`` of block ``i`` lives on disk ``(i + r) mod H``.  The client
 speculatively requests *all* blocks on every disk in one round and cancels
 once at least one copy of every original block has arrived.  The wasted
 duplicate transfers are the scheme's signature ~200 % I/O overhead.
+
+Composition: rotated-replica placement x speculative dispatch x coverage
+completion x emergent failover (see :mod:`repro.core.policy`).
 """
 
 from __future__ import annotations
 
-from repro.core import layout as L
-from repro.core.access import (
-    AccessResult,
-    CoverageTracker,
-    completion_with_order,
-    finalize_read,
-    serve_read_queues,
-    simulate_uniform_write,
-    trace_read_access,
-)
-from repro.core.base import SchemeBase
+from repro.core.pipeline import PolicyScheme
+from repro.core.policy.compose import composition
 
 
-class RRaidSScheme(SchemeBase):
+class RRaidSScheme(PolicyScheme):
     """Replicated striping, speculative (single-round) reads."""
 
     name = "rraid-s"
-
-    def _placement(self, n_disks: int):
-        return L.rotated_replicas_fractional(
-            self.config.k, self.config.redundancy, n_disks
-        )
-
-    def prepare(self, file_name: str, trial: int):
-        disks = self.select_disks(trial)
-        return self._register(
-            file_name,
-            disks,
-            self._placement(len(disks)),
-            coding={"algorithm": "replication", "replicas": self.config.replicas},
-        )
-
-    def write(self, file_name: str, trial: int) -> AccessResult:
-        cfg = self.config
-        disks = self.select_disks(trial)
-        placement = self._placement(len(disks))
-        t0 = self.open_latency()
-        t_done, net = simulate_uniform_write(
-            self.cluster,
-            disks,
-            placement,
-            cfg.block_bytes,
-            t0,
-            self.service_rng_factory(trial, "write"),
-            file_name,
-        )
-        self._register(
-            file_name,
-            disks,
-            placement,
-            coding={"algorithm": "replication", "replicas": cfg.replicas},
-        )
-        total = sum(len(p) for p in placement)
-        return AccessResult(
-            latency_s=t_done + self.metadata.latency_s,
-            data_bytes=cfg.data_bytes,
-            network_bytes=net,
-            disk_blocks=total,
-            blocks_received=total,
-        )
-
-    def read(self, file_name: str, trial: int) -> AccessResult:
-        cfg = self.config
-        record = self._record(file_name)
-        t0 = self.open_latency()
-        streams = serve_read_queues(
-            self.cluster,
-            record.disk_ids,
-            record.placement,
-            cfg.block_bytes,
-            t0,
-            self.service_rng_factory(trial, "read"),
-            file_name,
-        )
-        t_done, consumed, order = completion_with_order(
-            streams, CoverageTracker(cfg.k), cfg.block_bytes, cfg.client_bandwidth_bps
-        )
-        net, disk_blocks, hits = finalize_read(
-            streams, self.cluster, t_done, cfg.block_bytes, file_name
-        )
-        trace_read_access(
-            self.tracer, self.name, trial, streams, t0, t_done, consumed,
-            cfg.block_bytes, cfg.data_bytes,
-        )
-        return AccessResult(
-            latency_s=t_done,
-            data_bytes=cfg.data_bytes,
-            network_bytes=net,
-            disk_blocks=disk_blocks,
-            blocks_received=consumed,
-            cache_hits=hits,
-            extra={"arrival_order": order},
-        )
+    spec = composition("rraid-s")

@@ -12,6 +12,7 @@ from functools import partial
 from repro.experiments import (
     ablations,
     extensions,
+    ext_matrix,
     faultstorm,
     multiuser,
     cache_experiments,
@@ -61,6 +62,7 @@ REGISTRY = {
     "ext_wan_regime": extensions.ext_wan_regime,
     "ext_repair": extensions.ext_repair,
     "ext_faultstorm": faultstorm.ext_faultstorm,
+    "ext_matrix": ext_matrix.ext_matrix,
 }
 
 __all__ = ["REGISTRY"]

@@ -13,8 +13,8 @@ from typing import Mapping, Optional, Sequence
 import numpy as np
 
 from repro.cluster.server import Cluster
-from repro.core import SCHEMES
 from repro.core.access import AccessConfig, AccessResult
+from repro.core.pipeline import scheme_class
 from repro.disk.workload import InDiskLayout
 from repro.experiments import config as C
 from repro.metrics.stats import MetricSummary, summarize
@@ -75,6 +75,14 @@ class TrialPlan:
     #: Sampling horizon (simulated seconds) for ``fault_model`` storms.
     fault_horizon_s: float = 60.0
 
+    def __post_init__(self) -> None:
+        if self.mode not in ("read", "write", "raw"):
+            raise ValueError(f"unknown mode {self.mode!r}")
+        if self.background not in ("none", "homogeneous", "heterogeneous"):
+            raise ValueError(f"unknown background mode {self.background!r}")
+        if self.fault_plan is not None and self.fault_model is not None:
+            raise ValueError("fault_plan and fault_model are mutually exclusive")
+
     def bg_intervals(self, rng: np.random.Generator) -> Optional[dict[int, float]]:
         if self.background == "none":
             return None
@@ -106,8 +114,6 @@ def _run_trial(plan: TrialPlan, scheme, cluster: Cluster, hub: RngHub,
         fixed_zone=plan.fixed_zone,
         failed_disks=failed,
     )
-    if plan.fault_plan is not None and plan.fault_model is not None:
-        raise ValueError("fault_plan and fault_model are mutually exclusive")
     if plan.fault_plan is not None:
         cluster.install_faults(plan.fault_plan)
     elif plan.fault_model is not None:
@@ -160,12 +166,12 @@ def run_scheme(
     timeline — and the kernel's own process/event instrumentation appears
     in the trace alongside drive, filer and scheme spans.
     """
-    if scheme_name not in SCHEMES:
-        raise ValueError(f"unknown scheme {scheme_name!r}")
+    cls = scheme_class(scheme_name)  # raises ValueError for unknown names
     tracer = tracer if tracer is not None else current_tracer()
     access = plan.access
-    if scheme_name == "raid0":
-        access = replace(access, redundancy=0.0)
+    override = cls.spec.redundancy_override
+    if override is not None:
+        access = replace(access, redundancy=override)
     hub = RngHub(plan.seed)
     cluster = Cluster(
         n_disks=plan.pool,
@@ -175,7 +181,7 @@ def run_scheme(
         cache_line_bytes=access.block_bytes,
         tracer=tracer,
     )
-    scheme = SCHEMES[scheme_name](cluster, access, hub=hub)
+    scheme = cls(cluster, access, hub=hub)
     results: list[AccessResult] = []
 
     if not tracer.enabled:

@@ -175,8 +175,9 @@ def maybe_repair(scheme, file_name: str, trial: int, result):
 
     RobuSTore reads under an active injector report
     ``extra["repair_triggered"]`` when permanent failures pushed the
-    file's surviving redundancy below the scheme's floor (see
-    ``RobuStoreScheme.REPAIR_REDUNDANCY_FLOOR``).  This helper performs
+    file's surviving redundancy below the scheme's floor
+    (``RobuStoreScheme.REPAIR_REDUNDANCY_FLOOR``, read by the
+    :class:`repro.core.policy.reaction.Respeculate` policy).  This helper performs
     the rebuild and returns the :class:`repro.core.repair.RepairReport`,
     or ``None`` when no repair was needed.
     """

@@ -31,7 +31,7 @@ from repro.lint.engine import (
 )
 
 # Importing the rule modules registers the built-in rules.
-from repro.lint import rules_py, rules_sim  # noqa: F401  (registration side effect)
+from repro.lint import rules_policy, rules_py, rules_sim  # noqa: F401  (registration side effect)
 
 __all__ = [
     "FileContext",

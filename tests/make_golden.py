@@ -9,13 +9,17 @@ Writes:
 * ``golden_trace.json`` — the tracer's Chrome export format
   (:func:`tests.test_obs_tracer.build_reference_tracer`);
 * ``golden_faults.json`` — per-scheme results under the reference fault
-  storm (:func:`tests.test_faults_golden.build_fault_reference`).
+  storm (:func:`tests.test_faults_golden.build_fault_reference`);
+* ``golden_schemes.json`` — every scheme's full ``AccessResult`` across
+  read/write/raw x {no faults, storm}
+  (:func:`tests.test_golden_schemes.build_scheme_reference`).
 """
 
 import json
 import pathlib
 
 from tests.test_faults_golden import build_fault_reference
+from tests.test_golden_schemes import build_scheme_reference
 from tests.test_obs_tracer import build_reference_tracer
 
 if __name__ == "__main__":
@@ -30,4 +34,8 @@ if __name__ == "__main__":
 
     path = data / "golden_faults.json"
     path.write_text(json.dumps(build_fault_reference(), indent=1) + "\n")
+    print(f"wrote {path}")
+
+    path = data / "golden_schemes.json"
+    path.write_text(json.dumps(build_scheme_reference(), indent=1) + "\n")
     print(f"wrote {path}")

@@ -1,7 +1,7 @@
 """Tests for the repro.lint static-analysis framework.
 
 One positive (violating) and one negative (clean) fixture per rule
-SIM001-SIM006, pragma suppression, the JSON report schema, CLI exit
+SIM001-SIM007, pragma suppression, the JSON report schema, CLI exit
 codes — and a self-check that the shipped tree lints clean.
 """
 
@@ -32,9 +32,11 @@ def rules_of(source: str, path: str = HOT) -> list[str]:
 # registry basics
 
 
-def test_all_six_rules_registered():
+def test_all_rules_registered():
     rules = all_rules()
-    for rule_id in ("SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006"):
+    for rule_id in (
+        "SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006", "SIM007",
+    ):
         assert rule_id in rules
         assert rules[rule_id].summary
 
@@ -197,6 +199,54 @@ def test_sim006_allows_handling_or_reraise():
     assert rules_of(handled, OUTSIDE) == []
     assert rules_of(reraised, OUTSIDE) == []
     assert rules_of(non_generator, OUTSIDE) == []
+
+
+# ---------------------------------------------------------------------------
+# SIM007 — policy statelessness
+
+#: Fixture path inside the policy package (SIM007 scope).
+POLICY = "src/repro/core/policy/fixture.py"
+
+
+def test_sim007_flags_instance_write_outside_init():
+    src = (
+        "class SpeculativeDispatch:\n"
+        "    def read(self, scheme):\n"
+        "        self.rounds = 2\n"
+        "        return scheme\n"
+    )
+    findings = lint_source(src, POLICY)
+    assert [f.rule for f in findings] == ["SIM007"]
+    assert "stateless" in findings[0].message
+    aug = "class P:\n    def plan(self):\n        self.calls += 1\n"
+    assert rules_of(aug, POLICY) == ["SIM007"]
+    deleted = "class P:\n    def plan(self):\n        del self.cache\n"
+    assert rules_of(deleted, POLICY) == ["SIM007"]
+
+
+def test_sim007_allows_init_locals_and_foreign_state():
+    clean = (
+        "class GroupedRSPlacement:\n"
+        "    def __init__(self, group):\n"
+        "        self.group = group\n"
+        "    def plan(self, scheme, tracker):\n"
+        "        total = self.group * 2\n"
+        "        tracker.fill_times = []\n"  # trackers are stateful by design
+        "        scheme.failed_writes = 1\n"  # scheme instances own their state
+        "        return total\n"
+        "    @staticmethod\n"
+        "    def layout(k, h):\n"
+        "        rows = {}\n"
+        "        rows[0] = k + h\n"
+        "        return rows\n"
+    )
+    assert rules_of(clean, POLICY) == []
+
+
+def test_sim007_scope_is_policy_package_only():
+    src = "class C:\n    def f(self):\n        self.x = 1\n"
+    assert rules_of(src, HOT) == []
+    assert rules_of(src, OUTSIDE) == []
 
 
 # ---------------------------------------------------------------------------
