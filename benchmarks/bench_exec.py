@@ -1,0 +1,93 @@
+"""Sequential vs parallel wall-clock for a fixed smoke grid.
+
+Runs the same experiment grid twice through :mod:`repro.exec` — once
+in-process (``jobs=1``) and once over a worker pool — verifies the
+outputs are byte-identical, and writes ``BENCH_exec.json`` with both
+timings.  CI uploads the file as an artifact; the committed copy at the
+repo root records the container this revision was developed in.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_exec.py --out BENCH_exec.json
+
+Not a pytest-benchmark target on purpose: the comparison needs to own
+the executor (pool size, no cache), not inherit the harness fixture.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+#: The smoke grid: small enough for CI, large enough (32 jobs at 16
+#: trials each) that pool startup amortizes and the sequential/parallel
+#: ratio is meaningful.
+GRID = ("fig6_06", "ext_faultstorm")
+TRIALS = 16
+DATA_MB = 64
+
+
+def run_grid(jobs: int) -> tuple[float, list[str], object]:
+    """Run the grid under one executor; return (wall_s, outputs, stats)."""
+    from repro.exec import Executor, use_executor
+    from repro.experiments import REGISTRY
+
+    executor = Executor(jobs=jobs, store=None)
+    outputs: list[str] = []
+    t0 = time.perf_counter()
+    with use_executor(executor):
+        for exp_id in GRID:
+            outputs.append(REGISTRY[exp_id]().text())
+    return time.perf_counter() - t0, outputs, executor.stats
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_exec.json", metavar="PATH")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="pool size for the parallel leg (default: min(4, cpu_count), at least 2)",
+    )
+    args = parser.parse_args(argv)
+
+    os.environ["REPRO_TRIALS"] = str(TRIALS)
+    os.environ["REPRO_DATA_MB"] = str(DATA_MB)
+
+    cpu = os.cpu_count() or 1
+    # Floor at 2 so the ProcessPool path is always exercised, even on a
+    # single-core host where no speedup is expected.
+    jobs = args.jobs if args.jobs is not None else max(2, min(4, cpu))
+
+    seq_s, seq_out, seq_stats = run_grid(jobs=1)
+    par_s, par_out, par_stats = run_grid(jobs=jobs)
+    identical = seq_out == par_out
+    if not identical:
+        print("FATAL: parallel output differs from sequential", file=sys.stderr)
+
+    bench = {
+        "grid": list(GRID),
+        "trials": TRIALS,
+        "data_mb": DATA_MB,
+        "cpu_count": cpu,
+        "jobs": jobs,
+        "n_jobs_submitted": seq_stats.submitted,
+        "sequential_s": round(seq_s, 3),
+        "parallel_s": round(par_s, 3),
+        "speedup": round(seq_s / par_s, 3) if par_s > 0 else None,
+        "identical_output": identical,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(bench, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(json.dumps(bench, indent=2, sort_keys=True))
+    assert par_stats.submitted == seq_stats.submitted
+    return 0 if identical else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

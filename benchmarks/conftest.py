@@ -5,15 +5,34 @@ default they run at a reduced scale so `pytest benchmarks/ --benchmark-only`
 finishes in minutes; export paper-scale knobs for a full run::
 
     REPRO_TRIALS=100 REPRO_DATA_MB=1024 pytest benchmarks/ --benchmark-only
+
+``REPRO_JOBS=N`` fans each experiment's jobs over N worker processes via
+:mod:`repro.exec` (results are bit-identical to sequential).  Benchmarks
+always run uncached — a cache hit would time the cache, not the work.
 """
 
 import os
+
+import pytest
 
 os.environ.setdefault("REPRO_TRIALS", "8")
 # The scheme-ordering results (e.g. RRAID-A vs RRAID-S) are statements
 # about the paper's 1 GB working point; don't shrink the data size.
 os.environ.setdefault("REPRO_DATA_MB", "1024")
 os.environ.setdefault("REPRO_CODING_SAMPLES", "4")
+
+
+@pytest.fixture(autouse=True)
+def _exec_pool():
+    """Honor ``REPRO_JOBS`` for every benchmark, cache disabled."""
+    jobs = int(os.environ.get("REPRO_JOBS", "1"))
+    if jobs <= 1:
+        yield
+        return
+    from repro.exec import Executor, use_executor
+
+    with use_executor(Executor(jobs=jobs, store=None)):
+        yield
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -107,6 +107,45 @@ class AccessConfig:
         return int(round(self.redundancy)) + 1
 
 
+def _jsonable(value):
+    """Canonical JSON form: numpy scalars/arrays -> python, dict keys -> str.
+
+    The mapping is idempotent (``_jsonable(_jsonable(x)) == _jsonable(x)``),
+    which is what makes :meth:`AccessResult.to_jsonable` a fixed point under
+    JSON round-trips: floats survive exactly (including ``inf``/``nan``),
+    and every container lands in the one shape ``json.loads`` produces.
+    """
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [_jsonable(v) for v in value.tolist()]
+    return value
+
+
+#: AccessResult fields serialised by :meth:`AccessResult.to_jsonable`, in
+#: canonical order.  Kept explicit (rather than introspected) so a new
+#: field is a conscious codec decision — cache entries and cross-process
+#: payloads depend on this shape.
+_RESULT_FIELDS = (
+    "latency_s",
+    "data_bytes",
+    "network_bytes",
+    "disk_blocks",
+    "blocks_received",
+    "cache_hits",
+    "rounds",
+    "extra",
+)
+
+
 @dataclass
 class AccessResult:
     """Metrics of one access (§6.2.3)."""
@@ -133,6 +172,26 @@ class AccessResult:
     def io_overhead(self) -> float:
         """(bytes sent over networks - data size) / data size (§6.2.3)."""
         return (self.network_bytes - self.data_bytes) / self.data_bytes
+
+    def to_jsonable(self) -> dict:
+        """Lossless JSON form of this result.
+
+        Numeric fields survive a JSON round-trip exactly (Python prints
+        shortest-round-trip floats; ``inf`` travels as ``Infinity``);
+        ``extra`` is canonicalised (numpy scalars to python scalars, dict
+        keys to strings), so re-encoding a decoded result is byte-stable —
+        the bit-identity contract :mod:`repro.exec` checks across process
+        boundaries rests on this.
+        """
+        return {name: _jsonable(getattr(self, name)) for name in _RESULT_FIELDS}
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "AccessResult":
+        """Rebuild a result from :meth:`to_jsonable` output."""
+        unknown = set(data) - set(_RESULT_FIELDS)
+        if unknown:
+            raise ValueError(f"unknown AccessResult fields: {sorted(unknown)}")
+        return cls(**{name: data[name] for name in _RESULT_FIELDS if name in data})
 
 
 @dataclass

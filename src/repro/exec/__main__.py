@@ -1,0 +1,5 @@
+"""``python -m repro.exec`` dispatches to the cache-maintenance CLI."""
+
+from repro.exec.cli import main
+
+raise SystemExit(main())

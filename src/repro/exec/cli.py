@@ -1,0 +1,57 @@
+"""``python -m repro.exec`` — inspect and maintain the result cache.
+
+Subcommands::
+
+    python -m repro.exec stats             # entry/byte/scheme/stale counts
+    python -m repro.exec gc                # drop stale (old-salt) entries
+    python -m repro.exec gc --all          # drop everything
+
+Use ``--cache-dir`` (or the ``REPRO_CACHE_DIR`` env knob) to point at a
+non-default cache location.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.exec.job import CODE_SALT
+from repro.exec.store import ResultStore, default_cache_dir
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    parser = argparse.ArgumentParser(
+        prog="repro.exec",
+        description="Inspect / garbage-collect the experiment result cache.",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help=f"cache directory (default: {default_cache_dir()})",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("stats", help="entry, byte, per-scheme and stale counts")
+    gc = sub.add_parser("gc", help="remove stale entries (different code salt)")
+    gc.add_argument(
+        "--all", action="store_true", help="remove every entry, not just stale ones"
+    )
+    args = parser.parse_args(argv)
+
+    store = ResultStore(args.cache_dir)
+    if args.command == "stats":
+        print(f"cache: {store.root}", file=out)
+        print(f"salt:  {CODE_SALT}", file=out)
+        print(store.stats().render(), file=out)
+        return 0
+    if args.command == "gc":
+        removed = store.gc(all_entries=args.all)
+        what = "entries" if args.all else "stale entries"
+        print(f"removed {removed} {what} from {store.root}", file=out)
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -29,7 +29,7 @@ from repro.core.access import MB, AccessConfig
 from repro.core.policy.compose import COMPOSITIONS
 from repro.experiments import config as C
 from repro.experiments.faultstorm import HORIZON_S, STORM
-from repro.experiments.harness import TrialPlan, run_scheme
+from repro.experiments.harness import TrialPlan
 from repro.metrics.reporting import format_table
 
 #: Every registered composition, paper schemes first, cross-products last.
@@ -91,12 +91,19 @@ def ext_matrix(
         fault_horizon_s=HORIZON_S,
         **extra,
     )
+    from repro.exec.engine import current_executor
+    from repro.exec.job import Job
+
+    # One batch for the whole (scheme × leg) grid, so a parallel executor
+    # overlaps every cell rather than each scheme's three legs at a time.
+    legs = (writes, healthy, stormy)
+    jobs = [Job(plan, name) for name in schemes for plan in legs]
+    batches = iter(current_executor().run_jobs(jobs))
+
     rows = []
     medians: dict[str, tuple[float, float]] = {}
     for name in schemes:
-        wr = run_scheme(writes, name)
-        base = run_scheme(healthy, name)
-        storm = run_scheme(stormy, name)
+        wr, base, storm = (next(batches) for _ in legs)
         bw0 = _median_bw(base)
         bw1 = _median_bw(storm)
         killed = int(sum(1 for r in storm if not np.isfinite(r.latency_s)))

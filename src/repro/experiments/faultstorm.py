@@ -28,7 +28,7 @@ import numpy as np
 
 from repro.core.access import MB, AccessConfig
 from repro.experiments import config as C
-from repro.experiments.harness import TrialPlan, run_scheme
+from repro.experiments.harness import TrialPlan
 from repro.faults.model import FaultModel
 from repro.metrics.reporting import format_table
 
@@ -112,10 +112,14 @@ def ext_faultstorm(
         fault_horizon_s=HORIZON_S,
         **({"trials": trials} if trials is not None else {}),
     )
+    from repro.exec.engine import current_executor
+    from repro.exec.job import Job
+
+    batches = current_executor().run_jobs([Job(plan, name) for name in schemes])
+
     rows = []
     bandwidths: dict[str, list[float]] = {}
-    for name in schemes:
-        results = run_scheme(plan, name)
+    for name, results in zip(schemes, batches):
         rows.append(_summarise(name, results))
         bandwidths[name] = [
             r.bandwidth_bps / MB if np.isfinite(r.latency_s) else 0.0

@@ -222,8 +222,18 @@ def run_scheme(
 def run_point(
     plan: TrialPlan, schemes: Sequence[str] = C.ALL_SCHEMES, tracer=None
 ) -> dict[str, MetricSummary]:
-    """Run every scheme at one configuration point."""
-    return {name: summarize(run_scheme(plan, name, tracer=tracer)) for name in schemes}
+    """Run every scheme at one configuration point.
+
+    Submits one :class:`repro.exec.job.Job` per scheme through the ambient
+    executor (:func:`repro.exec.use_executor`) — sequential and uncached by
+    default, process-parallel and memoized when the CLI installs one.
+    """
+    from repro.exec.engine import current_executor
+    from repro.exec.job import Job
+
+    jobs = [Job(plan, name) for name in schemes]
+    batches = current_executor().run_jobs(jobs, tracer=tracer)
+    return {name: summarize(results) for name, results in zip(schemes, batches)}
 
 
 @dataclass
@@ -243,14 +253,10 @@ class ExperimentResult:
         }
 
     def text(self, bars: bool = True) -> str:
-        from repro.metrics.reporting import format_bars, format_series
+        from repro.metrics.reporting import TEXT_METRICS, format_bars, format_series
 
         blocks = []
-        for metric, label in (
-            ("bandwidth_mbps", "bandwidth (MB/s)"),
-            ("latency_std_s", "latency std dev (s)"),
-            ("io_overhead", "I/O overhead"),
-        ):
+        for metric, label in TEXT_METRICS:
             blocks.append(
                 format_series(
                     f"{self.title} — {label}",
@@ -279,10 +285,21 @@ def sweep(
     schemes: Sequence[str] = C.ALL_SCHEMES,
     tracer=None,
 ) -> ExperimentResult:
-    """Run ``plan_for(x)`` for every x; collect per-scheme series."""
+    """Run ``plan_for(x)`` for every x; collect per-scheme series.
+
+    The whole grid goes to the ambient executor as *one* batch (x-major,
+    scheme-minor — the order the sequential loop used), so a parallel
+    executor can overlap every cell of the sweep, not just one point's.
+    """
+    from repro.exec.engine import current_executor
+    from repro.exec.job import Job
+
+    xs = list(xs)
+    jobs = [Job(plan_for(x), name) for x in xs for name in schemes]
+    batches = current_executor().run_jobs(jobs, tracer=tracer)
     summaries: dict[str, list[MetricSummary]] = {name: [] for name in schemes}
-    for x in xs:
-        point = run_point(plan_for(x), schemes, tracer=tracer)
+    it = iter(batches)
+    for _x in xs:
         for name in schemes:
-            summaries[name].append(point[name])
-    return ExperimentResult(experiment_id, title, x_label, list(xs), summaries)
+            summaries[name].append(summarize(next(it)))
+    return ExperimentResult(experiment_id, title, x_label, xs, summaries)

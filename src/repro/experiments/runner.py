@@ -8,11 +8,17 @@ Usage::
     python -m repro.experiments fig6_06 --trace out.json   # Chrome trace
 
 ``REPRO_TRIALS`` / ``REPRO_DATA_MB`` scale run size (paper scale:
-``REPRO_TRIALS=100 REPRO_DATA_MB=1024``).  ``--trace`` installs a live
+``REPRO_TRIALS=100 REPRO_DATA_MB=1024``).  ``-j N`` fans the run's
+``(plan, scheme)`` jobs over N worker processes, and results are memoized
+in the content-addressed ``.repro-cache/`` store (``--no-cache`` /
+``--cache-dir`` to opt out or relocate; ``python -m repro.exec`` for
+cache stats and GC).  ``--trace`` installs a live
 :class:`repro.obs.Tracer` for the run and writes a Chrome
 ``trace_event``-format JSON (open in ``chrome://tracing`` or Perfetto);
-``--trace-detail`` adds per-block spans (large!).  Inspect a written
-trace with ``python -m repro.obs.report out.json``.
+traced runs execute sequentially and uncached — the trace's single global
+DES timeline only exists in one process.  ``--trace-detail`` adds
+per-block spans (large!).  Inspect a written trace with
+``python -m repro.obs.report out.json``.
 """
 
 from __future__ import annotations
@@ -24,6 +30,19 @@ import time
 from repro.experiments import REGISTRY
 
 
+def expand_ids(ids: list[str]) -> list[str]:
+    """Expand ``all`` (anywhere in the list) and drop duplicates.
+
+    Order is preserved: the first occurrence of each id wins, and ``all``
+    splices the registry order in at its position.
+    """
+    expanded: list[str] = []
+    for token in ids:
+        expanded.extend(REGISTRY) if token == "all" else expanded.append(token)
+    seen: set[str] = set()
+    return [i for i in expanded if not (i in seen or seen.add(i))]
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -31,6 +50,25 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("ids", nargs="*", help="experiment ids (or 'all')")
     parser.add_argument("--list", action="store_true", help="list experiment ids")
+    parser.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run experiment jobs over N worker processes (default 1)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="do not read or write the result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="result cache location (default .repro-cache or $REPRO_CACHE_DIR)",
+    )
     parser.add_argument(
         "--csv",
         metavar="DIR",
@@ -53,7 +91,7 @@ def main(argv: list[str] | None = None) -> int:
             print(name)
         return 0
 
-    ids = list(REGISTRY) if args.ids == ["all"] else args.ids
+    ids = expand_ids(args.ids)
     unknown = [i for i in ids if i not in REGISTRY]
     if unknown:
         print(f"unknown experiment ids: {', '.join(unknown)}", file=sys.stderr)
@@ -61,6 +99,11 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.trace_detail and not args.trace:
         parser.error("--trace-detail requires --trace")
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+
+    if args.csv:
+        _preflight_csv_dir(parser, args.csv)
 
     tracer = None
     if args.trace:
@@ -74,23 +117,39 @@ def main(argv: list[str] | None = None) -> int:
         except OSError as exc:
             parser.error(f"cannot write trace file: {exc}")
         tracer = Tracer(detail=args.trace_detail)
+        if args.jobs > 1:
+            print(
+                "[exec] --trace forces sequential, uncached execution"
+                " (one process owns the trace timeline); ignoring -j",
+                file=sys.stderr,
+            )
 
-    for exp_id in ids:
-        t0 = time.perf_counter()
-        if tracer is not None:
-            from repro.obs import use_tracer
+    from repro.exec import Executor, ResultStore, use_executor
 
-            with use_tracer(tracer):
+    store = None if args.no_cache else ResultStore(args.cache_dir)
+    executor = Executor(
+        jobs=args.jobs, store=store, progress=sys.stderr.isatty()
+    )
+    with use_executor(executor):
+        for exp_id in ids:
+            t0 = time.perf_counter()
+            if tracer is not None:
+                from repro.obs import use_tracer
+
+                with use_tracer(tracer):
+                    result = REGISTRY[exp_id]()
+            else:
                 result = REGISTRY[exp_id]()
-        else:
-            result = REGISTRY[exp_id]()
-        elapsed = time.perf_counter() - t0
-        print(f"\n=== {exp_id} ({elapsed:.1f}s) " + "=" * 40)
-        print(result.text())
-        if args.csv:
-            path = write_csv(result, exp_id, args.csv)
-            if path:
-                print(f"[csv] {path}")
+            elapsed = time.perf_counter() - t0
+            print(f"\n=== {exp_id} ({elapsed:.1f}s) " + "=" * 40)
+            print(result.text())
+            if args.csv:
+                path = write_csv(result, exp_id, args.csv)
+                if path:
+                    print(f"[csv] {path}")
+
+    if executor.stats.submitted:
+        print(f"[exec] {executor.stats.summary()}", file=sys.stderr)
 
     if tracer is not None:
         from repro.obs import TraceReport
@@ -102,6 +161,20 @@ def main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def _preflight_csv_dir(parser: argparse.ArgumentParser, directory: str) -> None:
+    """Fail before the run if the CSV directory can't be created/written."""
+    import os
+
+    try:
+        os.makedirs(directory, exist_ok=True)
+        probe = os.path.join(directory, ".csv-writable")
+        with open(probe, "w"):
+            pass
+        os.remove(probe)
+    except OSError as exc:
+        parser.error(f"cannot write CSV directory {directory!r}: {exc}")
+
+
 def write_csv(result, exp_id: str, directory: str) -> str | None:
     """Write an ExperimentResult's three metric series as one CSV file.
 
@@ -111,11 +184,13 @@ def write_csv(result, exp_id: str, directory: str) -> str | None:
     import csv
     import os
 
+    from repro.metrics.reporting import METRIC_COLUMNS
+
     if not hasattr(result, "series") or not hasattr(result, "xs"):
         return None
     os.makedirs(directory, exist_ok=True)
     path = os.path.join(directory, f"{exp_id}.csv")
-    metrics = ("bandwidth_mbps", "latency_mean_s", "latency_std_s", "io_overhead")
+    metrics = tuple(name for name, _label in METRIC_COLUMNS)
     with open(path, "w", newline="") as fh:
         writer = csv.writer(fh)
         writer.writerow(["scheme", "x"] + list(metrics))

@@ -31,7 +31,12 @@ from repro.lint.engine import (
 )
 
 # Importing the rule modules registers the built-in rules.
-from repro.lint import rules_policy, rules_py, rules_sim  # noqa: F401  (registration side effect)
+from repro.lint import (  # noqa: F401  (registration side effect)
+    rules_exec,
+    rules_policy,
+    rules_py,
+    rules_sim,
+)
 
 __all__ = [
     "FileContext",

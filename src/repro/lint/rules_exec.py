@@ -1,0 +1,70 @@
+"""Execution-engine rules (SIM008).
+
+The ``repro.exec`` determinism contract: a job payload, cache key or
+cache entry may contain only values that reproduce the simulation.  A
+wall-clock stamp, a PID or a random UUID smuggled into that data makes
+equal payloads hash differently (so the cache never hits) or — worse —
+makes a cache entry claim results it cannot reproduce.  SIM008 bans the
+sources of such values inside the ``exec`` package.
+
+``time.perf_counter`` is explicitly allowed: the engine measures per-job
+wall clock with it, and that measurement stays in :class:`ExecStats` —
+it never enters a payload or a cache entry.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import FileContext, Severity, rule
+from repro.lint.rules_sim import _TIME_CLOCK_FNS, _from_imports, _module_aliases
+
+#: ``os`` functions yielding per-process / per-boot values.
+_OS_PROCESS_FNS = {"getpid", "getppid", "urandom", "times"}
+
+#: ``uuid`` constructors that are time- or entropy-derived (uuid3/uuid5
+#: are content hashes and therefore deterministic).
+_UUID_NONDET_FNS = {"uuid1", "uuid4"}
+
+
+@rule(
+    "SIM008",
+    Severity.ERROR,
+    "no wall-clock / PID / UUID-derived values inside repro.exec — "
+    "payloads and cache entries must be deterministic",
+)
+def check_exec_determinism(ctx: FileContext) -> Iterator:
+    if not ctx.in_packages("exec"):
+        return
+    flagged = {
+        "time": (_module_aliases(ctx.tree, "time"), _TIME_CLOCK_FNS),
+        "os": (_module_aliases(ctx.tree, "os"), _OS_PROCESS_FNS),
+        "uuid": (_module_aliases(ctx.tree, "uuid"), _UUID_NONDET_FNS),
+    }
+    from_names = {
+        local: (module, orig)
+        for module, (_aliases, fns) in flagged.items()
+        for local, orig in _from_imports(ctx.tree, module).items()
+        if orig in fns
+    }
+    hint = (
+        "job payloads, cache keys and cache entries must contain only "
+        "deterministic content (time.perf_counter is fine for wall "
+        "accounting that stays out of them)"
+    )
+    for node in ctx.walk((ast.Call,)):
+        func = node.func
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            for module, (aliases, fns) in flagged.items():
+                if func.value.id in aliases and func.attr in fns:
+                    yield node, (
+                        f"{module}.{func.attr}() in the execution engine; {hint}"
+                    )
+                    break
+        elif isinstance(func, ast.Name) and func.id in from_names:
+            module, orig = from_names[func.id]
+            yield node, (
+                f"{func.id}() (imported from {module}.{orig}) in the "
+                f"execution engine; {hint}"
+            )

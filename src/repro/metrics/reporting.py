@@ -4,6 +4,23 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
+#: ``(MetricSummary attribute, figure label)`` for every reported metric,
+#: in report order — the single definition shared by
+#: ``ExperimentResult.text`` and the CSV writer, so the two outputs can
+#: never drift apart.
+METRIC_COLUMNS = (
+    ("bandwidth_mbps", "bandwidth (MB/s)"),
+    ("latency_mean_s", "mean latency (s)"),
+    ("latency_std_s", "latency std dev (s)"),
+    ("io_overhead", "I/O overhead"),
+)
+
+#: The subset ``text()`` plots — the paper's three figure metrics (mean
+#: latency is tabulated in CSV output but has no figure of its own).
+TEXT_METRICS = tuple(
+    (name, label) for name, label in METRIC_COLUMNS if name != "latency_mean_s"
+)
+
 
 def format_series(
     title: str,

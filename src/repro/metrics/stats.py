@@ -50,6 +50,23 @@ class MetricSummary:
             out["reception_overhead"] = round(self.reception_overhead, 3)
         return out
 
+    def to_jsonable(self) -> dict:
+        """Lossless JSON form (field-for-field; floats survive exactly)."""
+        from dataclasses import fields
+
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "MetricSummary":
+        """Rebuild a summary from :meth:`to_jsonable` output."""
+        from dataclasses import fields
+
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown MetricSummary fields: {sorted(unknown)}")
+        return cls(**data)
+
 
 def summarize(results: list[AccessResult]) -> MetricSummary:
     """Reduce access trials to the paper's metrics.

@@ -40,6 +40,10 @@ class TraceReport:
         The byte-flow ledger: ``network``, ``consumed``, ``data``.
     queue_depth_hist / inflight_hist:
         Histograms of the sampled queue-depth / in-flight counters.
+    job_spans:
+        ``(name, start_s, dur_s)`` per execution-engine job span
+        (category ``exec``) in timeline order — where each scheduled
+        ``(plan, scheme)`` cell sits on the global DES timeline.
     """
 
     stage_time: dict[str, float] = field(default_factory=dict)
@@ -49,6 +53,7 @@ class TraceReport:
     bytes: dict[str, int] = field(default_factory=dict)
     queue_depth_hist: dict[int, int] = field(default_factory=dict)
     inflight_hist: dict[int, int] = field(default_factory=dict)
+    job_spans: list[tuple[str, float, float]] = field(default_factory=list)
     n_instants: int = 0
     span_end_s: float = 0.0
 
@@ -96,6 +101,8 @@ class TraceReport:
             acc[0] += s.dur
             acc[1] += 1
             rep.span_end_s = max(rep.span_end_s, s.end)
+            if s.cat == "exec":
+                rep.job_spans.append((s.name, s.ts, s.dur))
         rep.stage_time = dict(stage_t)
         rep.stage_spans = dict(stage_n)
         rep.name_time = {k: (v[0], v[1]) for k, v in name_t.items()}
@@ -133,7 +140,10 @@ class TraceReport:
                 acc = name_t[ev["name"]]
                 acc[0] += dur
                 acc[1] += 1
-                rep.span_end_s = max(rep.span_end_s, (float(ev["ts"]) / 1e6) + dur)
+                start = float(ev["ts"]) / 1e6
+                rep.span_end_s = max(rep.span_end_s, start + dur)
+                if cat == "exec":
+                    rep.job_spans.append((ev["name"], start, dur))
             elif ph == "i":
                 rep.n_instants += 1
             elif ph == "C":
@@ -147,6 +157,7 @@ class TraceReport:
         rep.name_time = {k: (v[0], v[1]) for k, v in name_t.items()}
         rep.queue_depth_hist = _histogram(depth)
         rep.inflight_hist = _histogram(inflight)
+        rep.job_spans.sort(key=lambda js: js[1])
         return rep
 
     # -- rendering -------------------------------------------------------------
@@ -162,6 +173,15 @@ class TraceReport:
                 lines.append(
                     f"  {cat:<{width}}  {self.stage_time[cat]:12.3f} s"
                     f"  ({self.stage_spans[cat]} spans)"
+                )
+
+        if self.job_spans:
+            lines += ["", "exec jobs (global timeline):"]
+            width = max(len(name) for name, _s, _d in self.job_spans)
+            for name, start, dur in self.job_spans:
+                lines.append(
+                    f"  {name:<{width}}  [{start:10.3f} .. {start + dur:10.3f}] s"
+                    f"  ({dur:.3f} s)"
                 )
 
         if self.name_time:

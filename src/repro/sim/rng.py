@@ -21,17 +21,8 @@ def _fnv32(data: bytes, h: int = 2166136261) -> int:
     return h
 
 
-def stable_seed(*parts) -> int:
-    """Fold ``parts`` into a stable 32-bit RNG seed.
-
-    Unlike builtin ``hash`` — whose value for strings is salted per
-    process by ``PYTHONHASHSEED`` and whose value for numbers depends on
-    the platform word size — the result here depends only on ``parts``:
-    the same key always produces the same seed, in every process, on
-    every platform.  Use this (or an :class:`RngHub` stream) whenever a
-    component needs to derive a seed from identifying data.
-    """
-    h = 2166136261
+def _fold_parts(parts, h: int) -> int:
+    """Fold ``parts`` (stable_seed's accepted types) into one 32-bit word."""
     for part in parts:
         if isinstance(part, bool):
             data = b"\x01" if part else b"\x00"
@@ -44,6 +35,37 @@ def stable_seed(*parts) -> int:
         # Separate parts so ("ab",) and ("a", "b") fold differently.
         h = _fnv32(data, _fnv32(b"\x1f", h))
     return h
+
+
+def stable_seed(*parts) -> int:
+    """Fold ``parts`` into a stable 32-bit RNG seed.
+
+    Unlike builtin ``hash`` — whose value for strings is salted per
+    process by ``PYTHONHASHSEED`` and whose value for numbers depends on
+    the platform word size — the result here depends only on ``parts``:
+    the same key always produces the same seed, in every process, on
+    every platform.  Use this (or an :class:`RngHub` stream) whenever a
+    component needs to derive a seed from identifying data.
+    """
+    return _fold_parts(parts, 2166136261)
+
+
+#: Lane bases for :func:`stable_digest` — four distinct FNV offsets so the
+#: lanes are independent folds of the same part stream.
+_DIGEST_LANES = (2166136261, 0x01000193, 0x9E3779B9, 0xDEADBEEF)
+
+
+def stable_digest(*parts) -> str:
+    """Fold ``parts`` into a stable 128-bit hex digest.
+
+    The content-addressing big sibling of :func:`stable_seed`: four
+    differently-based FNV-1a lanes over the same part encoding, rendered
+    as 32 hex characters.  Like ``stable_seed`` the value depends only on
+    ``parts`` — never on the process, platform or hash salt — so it is
+    safe to use as an on-disk cache key (:mod:`repro.exec` keys its
+    result store with it).
+    """
+    return "".join(f"{_fold_parts(parts, base):08x}" for base in _DIGEST_LANES)
 
 
 class RngHub:

@@ -108,3 +108,21 @@ def test_golden_covers_every_registered_scheme():
     assert set(golden) == set(SCHEMES)
     for per_scheme in golden.values():
         assert set(per_scheme) == {f"{m}/{f}" for m in MODES for f in FAULTS}
+
+
+def test_pool_execution_bit_identical_for_every_composition():
+    """Worker-pool execution must be byte-identical to sequential.
+
+    One job per registered composition, run once in-process and once over
+    a two-worker pool; the canonical result JSON (the cache / cross-process
+    currency of :mod:`repro.exec`) must match byte for byte.
+    """
+    from repro.core.policy.compose import COMPOSITIONS
+    from repro.exec import Executor, Job, results_to_json
+
+    plan = TrialPlan(access=CFG, pool=8, rtt_s=0.001, seed=7, trials=2)
+    jobs = [Job(plan, name) for name in COMPOSITIONS]
+    sequential = Executor(jobs=1, store=None).run_jobs(jobs)
+    pooled = Executor(jobs=2, store=None).run_jobs(jobs)
+    for job, seq, par in zip(jobs, sequential, pooled):
+        assert results_to_json(seq) == results_to_json(par), job.scheme_name

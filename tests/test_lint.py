@@ -1,7 +1,7 @@
 """Tests for the repro.lint static-analysis framework.
 
 One positive (violating) and one negative (clean) fixture per rule
-SIM001-SIM007, pragma suppression, the JSON report schema, CLI exit
+SIM001-SIM008, pragma suppression, the JSON report schema, CLI exit
 codes — and a self-check that the shipped tree lints clean.
 """
 
@@ -35,7 +35,8 @@ def rules_of(source: str, path: str = HOT) -> list[str]:
 def test_all_rules_registered():
     rules = all_rules()
     for rule_id in (
-        "SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006", "SIM007",
+        "SIM001", "SIM002", "SIM003", "SIM004",
+        "SIM005", "SIM006", "SIM007", "SIM008",
     ):
         assert rule_id in rules
         assert rules[rule_id].summary
@@ -245,6 +246,49 @@ def test_sim007_allows_init_locals_and_foreign_state():
 
 def test_sim007_scope_is_policy_package_only():
     src = "class C:\n    def f(self):\n        self.x = 1\n"
+    assert rules_of(src, HOT) == []
+    assert rules_of(src, OUTSIDE) == []
+
+
+# ---------------------------------------------------------------------------
+# SIM008 — determinism inside the execution engine
+
+#: Fixture path inside the execution engine (SIM008 scope).
+EXEC = "src/repro/exec/fixture.py"
+
+
+def test_sim008_flags_pid_and_uuid_sources():
+    src = "import os\n\ndef key_salt():\n    return os.getpid()\n"
+    findings = lint_source(src, EXEC)
+    assert [f.rule for f in findings] == ["SIM008"]
+    assert "deterministic" in findings[0].message
+    assert rules_of("import uuid\njob_id = uuid.uuid4()\n", EXEC) == ["SIM008"]
+    assert rules_of("from os import getpid\np = getpid()\n", EXEC) == ["SIM008"]
+
+
+def test_sim008_flags_wall_clock_in_exec():
+    # time.time() in exec trips both the global wall-clock rule and the
+    # payload-determinism rule — they protect different contracts.
+    src = "import time\nstamp = time.time()\n"
+    assert sorted(rules_of(src, EXEC)) == ["SIM001", "SIM008"]
+
+
+def test_sim008_allows_perf_counter_and_deterministic_uuids():
+    clean = (
+        "import time\n"
+        "import uuid\n"
+        "def wall(fn):\n"
+        "    t0 = time.perf_counter()\n"
+        "    fn()\n"
+        "    return time.perf_counter() - t0\n"
+        "def content_id(ns, name):\n"
+        "    return uuid.uuid5(ns, name)\n"
+    )
+    assert rules_of(clean, EXEC) == []
+
+
+def test_sim008_scope_is_exec_package_only():
+    src = "import os\npid = os.getpid()\n"
     assert rules_of(src, HOT) == []
     assert rules_of(src, OUTSIDE) == []
 
