@@ -1,0 +1,82 @@
+"""Serving-throughput benchmark for the ``repro.serve`` facade.
+
+Runs one serving cell per scheme at a growing client population and
+reports the *simulator's* throughput — how many open-loop requests the
+facade places, admits and meters per wall-clock second — plus the
+cell's SLO headline.  Verifies along the way that re-running a cell
+reproduces its report exactly (the byte-identity the executor cache
+rests on).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --out BENCH_serve.json
+
+Not a pytest-benchmark target on purpose: the interesting axis is
+requests/second *of the facade itself* across population sizes, which
+needs to own its plans rather than inherit the harness fixture.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+#: Client populations benchmarked (each client issues one request).
+POPULATIONS = (1_000, 10_000, 100_000)
+SCHEMES = ("raid0", "robustore")
+
+
+def run_cell(scheme: str, n_clients: int) -> dict:
+    """One serving cell; returns timing plus the report headline."""
+    from repro.serve import ServePlan, StorageService, WorkloadSpec
+
+    plan = ServePlan(workload=WorkloadSpec(n_clients=n_clients), seed=0)
+    t0 = time.perf_counter()
+    report = StorageService(plan, scheme).run()
+    wall_s = time.perf_counter() - t0
+    again = StorageService(plan, scheme).run()
+    return {
+        "scheme": scheme,
+        "n_clients": n_clients,
+        "wall_s": round(wall_s, 3),
+        "requests_per_s": round(report.offered / wall_s, 1),
+        "p50_s": round(report.p50_s, 4),
+        "p99_s": round(report.p99_s, 4),
+        "goodput_mbps": round(report.goodput_mbps, 1),
+        "rejection_rate": round(report.rejection_rate, 4),
+        "reproducible": again == report,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_serve.json", metavar="PATH")
+    parser.add_argument(
+        "--populations",
+        default=None,
+        help="comma-separated client counts (default: 1000,10000,100000)",
+    )
+    args = parser.parse_args(argv)
+    pops = (
+        tuple(int(p) for p in args.populations.split(","))
+        if args.populations
+        else POPULATIONS
+    )
+
+    cells = [run_cell(s, n) for n in pops for s in SCHEMES]
+    bench = {
+        "populations": list(pops),
+        "schemes": list(SCHEMES),
+        "cells": cells,
+        "all_reproducible": all(c["reproducible"] for c in cells),
+    }
+    with open(args.out, "w") as fh:
+        json.dump(bench, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(json.dumps(bench, indent=2, sort_keys=True))
+    return 0 if bench["all_reproducible"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

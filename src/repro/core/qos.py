@@ -19,18 +19,22 @@ class QoSOptions:
     Attributes
     ----------
     target_bandwidth_mbps:
-        Desired sustained access bandwidth.
+        Desired sustained access bandwidth; ``None`` means no bandwidth
+        requirement.  Must be positive when given — a zero or negative
+        target is a specification error, not a "don't care".
     max_latency_std_s:
         Bound on access-latency variation (robustness requirement).
     redundancy_budget:
         Maximum storage expansion the application will pay for (D).
+        Must be positive: a non-positive budget cannot hold any coded
+        redundancy and would silently plan a degenerate config.
     reserve_bytes:
         Capacity to reserve (traffic profile).
     priority:
         Admission-control priority (smaller = more urgent).
     """
 
-    target_bandwidth_mbps: float = 0.0
+    target_bandwidth_mbps: float | None = None
     max_latency_std_s: float = float("inf")
     redundancy_budget: float = 3.0
     reserve_bytes: int = 0
@@ -56,11 +60,29 @@ def plan_access(
     * §5.3.1 — #disks >= target bandwidth / average disk bandwidth;
     * §5.3.2 — redundancy D >= (1 + eps) * peak/average - 1, clipped to
       the application's budget.
+
+    Raises
+    ------
+    ValueError
+        For a non-positive ``redundancy_budget`` or ``target_bandwidth_mbps``
+        — both would otherwise plan a degenerate config (no redundancy /
+        zero disks) that fails far from the specification mistake.
     """
+    if qos.redundancy_budget <= 0:
+        raise ValueError(
+            f"redundancy_budget must be positive, got {qos.redundancy_budget}"
+            " (a non-positive budget cannot hold coded redundancy)"
+        )
+    if qos.target_bandwidth_mbps is not None and qos.target_bandwidth_mbps <= 0:
+        raise ValueError(
+            "target_bandwidth_mbps must be positive, got "
+            f"{qos.target_bandwidth_mbps} (omit it, or pass None, for "
+            "no bandwidth requirement)"
+        )
     profile = profile or DiskProfile()
     cfg = base
 
-    if qos.target_bandwidth_mbps > 0:
+    if qos.target_bandwidth_mbps is not None:
         need = max(
             1,
             -(-int(qos.target_bandwidth_mbps) // max(1, int(profile.avg_bandwidth_mbps))),

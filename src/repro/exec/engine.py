@@ -186,16 +186,15 @@ class Executor:
     def _run_traced(self, jobs: list[Job], tracer) -> list[list]:
         """Sequential, uncached, with one ``exec.job`` span per job.
 
-        ``run_scheme`` advances ``tracer.offset`` past each run, so the
-        span covers exactly the stretch of the global DES timeline the
-        job occupied.
+        Trial jobs (``run_scheme``) advance ``tracer.offset`` past each
+        run, so the span covers exactly the stretch of the global DES
+        timeline the job occupied; other job kinds run inline through
+        their own ``run_traced`` hook.
         """
-        from repro.experiments.harness import run_scheme
-
         out = []
         for job in jobs:
             t0 = tracer.offset
-            results = run_scheme(job.plan, job.scheme_name, tracer=tracer)
+            results = job.run_traced(tracer)
             t1 = tracer.offset
             saved = tracer.offset
             tracer.offset = 0.0
@@ -206,9 +205,7 @@ class Executor:
                     t0,
                     max(t0, t1),
                     track="exec",
-                    args={"scheme": job.scheme_name,
-                          "mode": job.plan.mode,
-                          "trials": job.plan.trials},
+                    args=job.span_args(),
                 )
             finally:
                 tracer.offset = saved

@@ -116,21 +116,33 @@ def decode_plan(payload: dict) -> tuple[TrialPlan, str]:
 
 
 # ---------------------------------------------------------------------------
-# AccessResult lists <-> canonical JSON
+# results <-> canonical JSON
 
 def results_to_json(results: list[AccessResult]) -> str:
     """Canonical JSON of a trial-result list (the byte-identity currency)."""
     return canonical_json([r.to_jsonable() for r in results])
 
 
-def results_from_json(text: str) -> list[AccessResult]:
-    """Inverse of :func:`results_to_json`."""
-    return [AccessResult.from_jsonable(d) for d in json.loads(text)]
+def results_from_json(text: str):
+    """Inverse of :func:`results_to_json` (kind-dispatching, see below)."""
+    return results_from_jsonable(json.loads(text))
 
 
-def results_from_jsonable(items: list[dict]) -> list[AccessResult]:
-    """Decode an already-parsed result list (a cache entry's ``results``)."""
-    return [AccessResult.from_jsonable(d) for d in items]
+def results_from_jsonable(data):
+    """Decode an already-parsed result value (a cache entry's ``results``).
+
+    Trial jobs produce a *list* of access results; other job kinds tag
+    their result dict with ``kind`` and decode through their own codec
+    (currently ``serve`` -> :class:`repro.serve.slo.ServeReport`).
+    """
+    if isinstance(data, dict):
+        kind = data.get("kind")
+        if kind == "serve":
+            from repro.serve.slo import ServeReport
+
+            return ServeReport.from_jsonable(data)
+        raise ValueError(f"unknown result kind {kind!r}")
+    return [AccessResult.from_jsonable(d) for d in data]
 
 
 # ---------------------------------------------------------------------------
@@ -164,21 +176,47 @@ class Job:
         """Short human label for progress lines and failure reports."""
         return f"{self.scheme_name}/{self.plan.mode}×{self.plan.trials}"
 
+    # -- executor hooks -------------------------------------------------------
+    def run_traced(self, tracer) -> list[AccessResult]:
+        """Traced execution: sequential, on the shared DES timeline."""
+        from repro.experiments.harness import run_scheme
+
+        return run_scheme(self.plan, self.scheme_name, tracer=tracer)
+
+    def span_args(self) -> dict:
+        """Argument dict for the executor's ``exec.job`` trace span."""
+        return {
+            "scheme": self.scheme_name,
+            "mode": self.plan.mode,
+            "trials": self.plan.trials,
+        }
+
 
 def execute_payload(payload_json: str) -> str:
     """Run one job from its canonical payload; return canonical results.
 
-    This is the *entire* worker code path: decode the payload, run
-    :func:`repro.experiments.harness.run_scheme` with the no-op tracer,
+    This is the *entire* worker code path: decode the payload, run it,
     encode the results.  Both the in-process and the pooled executor go
     through this function, so sequential and parallel execution are the
     same code by construction — bit-identity follows from the payload's
     determinism, not from luck.
+
+    Dispatch is on the payload's ``kind`` tag: absent means a trial job
+    (:func:`repro.experiments.harness.run_scheme`); ``serve`` runs a
+    :mod:`repro.serve` serving cell.
     """
+    payload = json.loads(payload_json)
+    kind = payload.get("kind")
+    if kind == "serve":
+        from repro.serve.service import execute_serve_payload
+
+        return execute_serve_payload(payload)
+    if kind is not None:
+        raise ValueError(f"unknown job kind {kind!r}")
     from repro.experiments.harness import run_scheme
     from repro.obs.tracer import NULL_TRACER
 
-    plan, scheme_name = decode_plan(json.loads(payload_json))
+    plan, scheme_name = decode_plan(payload)
     results = run_scheme(plan, scheme_name, tracer=NULL_TRACER)
     return results_to_json(results)
 

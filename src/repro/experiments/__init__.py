@@ -15,6 +15,7 @@ from repro.experiments import (
     ext_matrix,
     faultstorm,
     multiuser,
+    serve_experiment,
     cache_experiments,
     coding_experiments,
     competitive_experiments,
@@ -54,6 +55,7 @@ REGISTRY = {
     "abl_code_choice": ablations.abl_code_choice,
     # Extensions (§7.3 future work)
     "ext_multiuser": multiuser.ext_multiuser,
+    "ext_serve": serve_experiment.ext_serve,
     "ext_update": extensions.ext_update,
     "ext_parallel_coding": extensions.ext_parallel_coding,
     "ext_qos_admission": extensions.ext_qos_admission,

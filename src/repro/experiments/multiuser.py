@@ -2,10 +2,17 @@
 
 The dissertation models competing users only as synthetic background
 streams and leaves "a more accurate model of multi-user workloads" to
-future work.  This experiment runs it: N concurrent clients issue the
-same-shaped access over the *same* drives in the event-driven reference
-engine, so contention emerges from the shared per-drive queues instead of
-an open-loop arrival model.
+future work.  Two experiments run it:
+
+* ``ext_multiuser`` (this module) — the *closed-loop* compatibility
+  entry: N concurrent clients issue the same-shaped access over the
+  *same* drives in the event-driven reference engine, so contention
+  emerges from the shared per-drive queues.  The plumbing lives in the
+  :mod:`repro.serve` facade (:func:`repro.serve.closed_loop_point`);
+  this module only shapes the sweep and formats the table.
+* ``ext_serve`` (:mod:`repro.experiments.serve_experiment`) — the
+  *open-loop* serving simulation that scales the same question to 10⁵+
+  clients with consistent-hash placement and SLO metrics.
 
 Reported per client count: mean per-client latency, per-client bandwidth,
 and aggregate delivered throughput — for RobuSTore and RAID-0.
@@ -17,12 +24,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.cluster.server import Cluster
-from repro.core import SCHEMES
 from repro.core.access import MB, AccessConfig
-from repro.core.reference import reference_read
 from repro.metrics.reporting import format_table
-from repro.sim.rng import RngHub
+from repro.serve import closed_loop_point
 
 
 @dataclass
@@ -52,25 +56,10 @@ def ext_multiuser(
     rows = []
     for scheme_name in ("raid0", "robustore"):
         for n in client_counts:
-            lats = []
-            for trial in range(trials):
-                cluster = Cluster(n_disks=pool, rtt_s=0.001)
-                hub = RngHub(seed + trial)
-                scheme = SCHEMES[scheme_name](cluster, cfg, hub=hub)
-                cluster.redraw_disk_states(hub.fresh("env", trial))
-                record = scheme.prepare("f", trial)
-                ref = reference_read(
-                    cluster,
-                    record.disk_ids,
-                    record.placement,
-                    cfg.block_bytes,
-                    scheme_name,
-                    lambda d: hub.fresh("svc", trial, d),
-                    k=cfg.k,
-                    graph=record.extra.get("graph"),
-                    n_clients=n,
-                )
-                lats.extend(ref.per_client.values())
+            lats = closed_loop_point(
+                scheme_name, n, cfg, pool=pool, rtt_s=0.001,
+                trials=trials, seed=seed,
+            )
             lat = float(np.mean(lats))
             per_client_bw = data_mb / lat
             rows.append(

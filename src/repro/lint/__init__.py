@@ -35,6 +35,7 @@ from repro.lint import (  # noqa: F401  (registration side effect)
     rules_exec,
     rules_policy,
     rules_py,
+    rules_serve,
     rules_sim,
 )
 

@@ -1,0 +1,140 @@
+"""Serving-simulation rules (SIM009).
+
+The ``repro.serve`` determinism contract mirrors ``repro.exec``'s
+(SIM008) but is stricter: a serving cell is a pure function of
+``(plan, scheme)``, so the package may contain *no* entropy that is not
+derived from the plan's seed.  That bans three families:
+
+* wall-clock, PID and UUID-derived values (the SIM008 set) — they make
+  equal payloads produce different reports;
+* *unseeded* RNG construction — ``random.Random()``, ``random.SystemRandom``,
+  ``np.random.default_rng()`` / ``RandomState()`` with no seed — which is
+  fresh OS entropy wearing a deterministic API;
+* module-level ``random.*`` / ``np.random.*`` draws (global-state RNG) —
+  SIM002 flags these repo-wide, but inside ``serve`` they additionally
+  break the payload contract, so SIM009 reports them in its own right
+  (the two rules protect different contracts, as SIM001/SIM008 do).
+
+Everything stochastic in ``repro.serve`` must flow through the cell's
+:class:`repro.sim.rng.RngHub` or a ``Generator`` injected from it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import FileContext, Severity, rule
+from repro.lint.rules_exec import _OS_PROCESS_FNS, _UUID_NONDET_FNS
+from repro.lint.rules_sim import (
+    _NP_GLOBAL_FNS,
+    _TIME_CLOCK_FNS,
+    _from_imports,
+    _is_np_random,
+    _module_aliases,
+)
+
+#: Unseeded-entropy constructors: deterministic-looking APIs that draw a
+#: fresh OS seed when called with no arguments.
+_UNSEEDED_CTORS = {"default_rng", "RandomState", "Random", "SeedSequence"}
+
+_HINT = (
+    "a serving cell must be a pure function of (plan, scheme) — draw "
+    "from the cell's RngHub (or a Generator derived from it) instead"
+)
+
+
+@rule(
+    "SIM009",
+    Severity.ERROR,
+    "no unseeded RNG / wall-clock / PID / UUID entropy inside repro.serve — "
+    "serving cells must reproduce from their plan seed alone",
+)
+def check_serve_determinism(ctx: FileContext) -> Iterator:
+    if not ctx.in_packages("serve"):
+        return
+    flagged = {
+        "time": (_module_aliases(ctx.tree, "time"), _TIME_CLOCK_FNS),
+        "os": (_module_aliases(ctx.tree, "os"), _OS_PROCESS_FNS),
+        "uuid": (_module_aliases(ctx.tree, "uuid"), _UUID_NONDET_FNS),
+        "secrets": (_module_aliases(ctx.tree, "secrets"), None),
+    }
+    from_names = {
+        local: (module, orig)
+        for module, (_aliases, fns) in flagged.items()
+        for local, orig in _from_imports(ctx.tree, module).items()
+        if fns is None or orig in fns
+    }
+    np_aliases = _module_aliases(ctx.tree, "numpy") | {"np"}
+    random_aliases = _module_aliases(ctx.tree, "random")
+    npr_names = _from_imports(ctx.tree, "numpy.random")
+    stdlib_rng_names = _from_imports(ctx.tree, "random")
+
+    for node in ctx.walk((ast.Call,)):
+        func = node.func
+        unseeded = not node.args and not node.keywords
+        if isinstance(func, ast.Attribute):
+            attr = func.attr
+            if _is_np_random(func.value, np_aliases):
+                if attr in _NP_GLOBAL_FNS:
+                    yield node, (
+                        f"global-state RNG call np.random.{attr}() inside "
+                        f"repro.serve; {_HINT}"
+                    )
+                elif attr in _UNSEEDED_CTORS and unseeded:
+                    yield node, (
+                        f"np.random.{attr}() without a seed draws OS "
+                        f"entropy; {_HINT}"
+                    )
+                continue
+            if not isinstance(func.value, ast.Name):
+                continue
+            base = func.value.id
+            for module, (aliases, fns) in flagged.items():
+                if base in aliases and (fns is None or attr in fns):
+                    yield node, (
+                        f"{module}.{attr}() inside repro.serve; {_HINT}"
+                    )
+                    break
+            else:
+                if base in random_aliases:
+                    if attr == "SystemRandom" or (
+                        attr == "Random" and unseeded
+                    ):
+                        yield node, (
+                            f"unseeded random.{attr}() draws OS entropy; {_HINT}"
+                        )
+                    elif attr not in ("Random", "SystemRandom"):
+                        yield node, (
+                            f"global-state RNG call random.{attr}() inside "
+                            f"repro.serve; {_HINT}"
+                        )
+        elif isinstance(func, ast.Name):
+            if func.id in from_names:
+                module, orig = from_names[func.id]
+                yield node, (
+                    f"{func.id}() (imported from {module}.{orig}) inside "
+                    f"repro.serve; {_HINT}"
+                )
+            elif npr_names.get(func.id) in _UNSEEDED_CTORS and unseeded:
+                yield node, (
+                    f"{func.id}() (from numpy.random) without a seed draws "
+                    f"OS entropy; {_HINT}"
+                )
+            elif npr_names.get(func.id) in _NP_GLOBAL_FNS:
+                yield node, (
+                    f"global-state RNG call {func.id}() (from numpy.random) "
+                    f"inside repro.serve; {_HINT}"
+                )
+            elif func.id in stdlib_rng_names:
+                orig = stdlib_rng_names[func.id]
+                if orig == "SystemRandom" or (orig == "Random" and unseeded):
+                    yield node, (
+                        f"unseeded {func.id}() (from random) draws OS "
+                        f"entropy; {_HINT}"
+                    )
+                elif orig not in ("Random", "SystemRandom", "getstate"):
+                    yield node, (
+                        f"global-state RNG call {func.id}() (from random) "
+                        f"inside repro.serve; {_HINT}"
+                    )

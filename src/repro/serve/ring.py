@@ -1,0 +1,166 @@
+"""Consistent-hash placement of files across filers.
+
+The serving layer must answer "which filers hold file X?" a million
+times per sweep, keep keys balanced across filers, and move as few keys
+as possible when a filer joins or leaves.  A consistent-hash ring with
+virtual nodes does all three: each physical node owns ``vnodes`` points
+on a 32-bit ring, a key maps to the first point at or after its own
+hash (clockwise), and a replication factor of ``rf`` takes the next
+``rf`` *distinct* physical nodes along the ring.
+
+Hashes come from :func:`repro.sim.rng.stable_seed` (process-independent
+FNV-1a) pushed through a murmur3-style bit finalizer — FNV-1a alone
+avalanches poorly on short sequential inputs like ``("vnode", 3, 17)``,
+which shows up directly as ring imbalance.  Placement is identical in
+every worker process — a ring decision is part of the serving payload's
+determinism contract.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.cluster.metadata import FileRecord
+from repro.sim.rng import stable_seed
+
+_MASK32 = 0xFFFFFFFF
+
+
+def _mix32(h: int) -> int:
+    """murmur3's 32-bit finalizer: full avalanche over stable_seed."""
+    h ^= h >> 16
+    h = (h * 0x85EBCA6B) & _MASK32
+    h ^= h >> 13
+    h = (h * 0xC2B2AE35) & _MASK32
+    h ^= h >> 16
+    return h
+
+
+class HashRing:
+    """A consistent-hash ring with virtual nodes.
+
+    Parameters
+    ----------
+    nodes:
+        Initial physical node ids (any hashable, stringified for hashing).
+    vnodes:
+        Ring points per physical node.  More points flatten the load
+        distribution (the max/mean key-share imbalance shrinks roughly
+        with ``1/sqrt(vnodes)``) at the cost of ring size.
+    """
+
+    def __init__(self, nodes=(), vnodes: int = 128) -> None:
+        if vnodes < 1:
+            raise ValueError("need at least one virtual node per node")
+        self.vnodes = int(vnodes)
+        self._nodes: set = set()
+        #: Sorted ring positions and the physical node owning each.
+        self._points: list[int] = []
+        self._owners: list = []
+        for node in nodes:
+            self.add_node(node)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def nodes(self) -> list:
+        return sorted(self._nodes)
+
+    @staticmethod
+    def _key_hash(key) -> int:
+        return _mix32(stable_seed("key", key))
+
+    def _vnode_hashes(self, node) -> list[int]:
+        return [
+            _mix32(stable_seed("vnode", node, i)) for i in range(self.vnodes)
+        ]
+
+    def add_node(self, node) -> None:
+        """Insert ``node``'s virtual points (idempotent)."""
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for h in self._vnode_hashes(node):
+            idx = bisect.bisect_left(self._points, h)
+            # Break exact hash collisions by node order so the ring is
+            # identical however nodes were added.
+            while idx < len(self._points) and self._points[idx] == h and str(
+                self._owners[idx]
+            ) < str(node):
+                idx += 1
+            self._points.insert(idx, h)
+            self._owners.insert(idx, node)
+
+    def remove_node(self, node) -> None:
+        """Remove ``node``'s virtual points (idempotent)."""
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        keep = [(p, o) for p, o in zip(self._points, self._owners) if o != node]
+        self._points = [p for p, _ in keep]
+        self._owners = [o for _, o in keep]
+
+    def primary(self, key):
+        """The physical node owning ``key`` (first clockwise point)."""
+        nodes = self.nodes_for(key, 1)
+        return nodes[0] if nodes else None
+
+    def nodes_for(self, key, count: int) -> list:
+        """The first ``count`` *distinct* physical nodes clockwise of ``key``.
+
+        The first entry is the primary, the rest are its replicas — all
+        guaranteed distinct, capped at the number of physical nodes.
+        """
+        if not self._points or count < 1:
+            return []
+        start = bisect.bisect_left(self._points, self._key_hash(key))
+        out: list = []
+        seen: set = set()
+        n = len(self._points)
+        for i in range(n):
+            owner = self._owners[(start + i) % n]
+            if owner not in seen:
+                seen.add(owner)
+                out.append(owner)
+                if len(out) >= count:
+                    break
+        return out
+
+
+class FilePlacer:
+    """Ring placement recorded in the distributed metadata service.
+
+    Placement decisions live on the ring; the *record* of each decision
+    lives in the hash-partitioned metadata service, exactly as §4.2
+    splits decision-making from bookkeeping.  ``place`` registers the
+    file once; ``lookup`` serves every later request from metadata.
+    """
+
+    def __init__(self, ring: HashRing, metadata) -> None:
+        self.ring = ring
+        self.metadata = metadata
+
+    def place(
+        self,
+        name: str,
+        size_bytes: int,
+        scheme: str,
+        replication_factor: int,
+    ) -> list:
+        """Choose ``replication_factor`` distinct filers and record them."""
+        filers = self.ring.nodes_for(name, replication_factor)
+        if not filers:
+            raise ValueError("cannot place on an empty ring")
+        record = FileRecord(
+            name=name,
+            size_bytes=int(size_bytes),
+            scheme=scheme,
+            extra={"filers": [int(f) for f in filers]},
+        )
+        self.metadata.commit(record)
+        return filers
+
+    def lookup(self, name: str) -> list:
+        """The filers holding ``name`` (primary first), from metadata."""
+        return list(self.metadata.lookup(name).extra["filers"])

@@ -1,7 +1,7 @@
 """Tests for the repro.lint static-analysis framework.
 
 One positive (violating) and one negative (clean) fixture per rule
-SIM001-SIM008, pragma suppression, the JSON report schema, CLI exit
+SIM001-SIM009, pragma suppression, the JSON report schema, CLI exit
 codes — and a self-check that the shipped tree lints clean.
 """
 
@@ -36,7 +36,7 @@ def test_all_rules_registered():
     rules = all_rules()
     for rule_id in (
         "SIM001", "SIM002", "SIM003", "SIM004",
-        "SIM005", "SIM006", "SIM007", "SIM008",
+        "SIM005", "SIM006", "SIM007", "SIM008", "SIM009",
     ):
         assert rule_id in rules
         assert rules[rule_id].summary
@@ -290,6 +290,67 @@ def test_sim008_allows_perf_counter_and_deterministic_uuids():
 def test_sim008_scope_is_exec_package_only():
     src = "import os\npid = os.getpid()\n"
     assert rules_of(src, HOT) == []
+    assert rules_of(src, OUTSIDE) == []
+
+
+# ---------------------------------------------------------------------------
+# SIM009 — determinism inside the serving simulation
+
+#: Fixture path inside the serving package (SIM009 scope).
+SERVE = "src/repro/serve/fixture.py"
+
+
+def test_sim009_flags_unseeded_rng_constructors():
+    src = "import numpy as np\nr = np.random.default_rng()\n"
+    findings = lint_source(src, SERVE)
+    # Unseeded default_rng trips both the repo-wide SIM002 and the
+    # serve-local payload contract — different contracts, as SIM001/SIM008.
+    assert sorted(f.rule for f in findings) == ["SIM002", "SIM009"]
+    assert any("OS entropy" in f.message for f in findings)
+    src2 = "import random\nr = random.Random()\n"
+    assert "SIM009" in rules_of(src2, SERVE)
+    src3 = "from numpy.random import default_rng\nr = default_rng()\n"
+    assert "SIM009" in rules_of(src3, SERVE)
+
+
+def test_sim009_flags_global_state_rng():
+    assert "SIM009" in rules_of("import random\nx = random.random()\n", SERVE)
+    assert "SIM009" in rules_of(
+        "import numpy as np\nx = np.random.rand(3)\n", SERVE
+    )
+    assert "SIM009" in rules_of(
+        "from random import shuffle\nshuffle(deck)\n", SERVE
+    )
+
+
+def test_sim009_flags_wall_clock_pid_uuid():
+    assert sorted(rules_of("import time\nt = time.time()\n", SERVE)) == [
+        "SIM001", "SIM009",
+    ]
+    assert "SIM009" in rules_of("import os\np = os.getpid()\n", SERVE)
+    assert "SIM009" in rules_of("import uuid\nu = uuid.uuid4()\n", SERVE)
+    assert "SIM009" in rules_of(
+        "import secrets\nt = secrets.token_hex()\n", SERVE
+    )
+
+
+def test_sim009_allows_seeded_and_hub_derived_rng():
+    clean = (
+        "import numpy as np\n"
+        "from repro.sim.rng import RngHub\n"
+        "def gen(seed):\n"
+        "    hub = RngHub(seed)\n"
+        "    rng = hub.stream('serve', 'sizes')\n"
+        "    explicit = np.random.default_rng(42)\n"
+        "    return rng.random(4), explicit.random(4)\n"
+    )
+    assert rules_of(clean, SERVE) == []
+
+
+def test_sim009_scope_is_serve_package_only():
+    src = "import random\nr = random.Random()\n"
+    assert "SIM009" not in rules_of(src, HOT)
+    assert "SIM009" not in rules_of(src, EXEC)
     assert rules_of(src, OUTSIDE) == []
 
 

@@ -100,3 +100,85 @@ def test_format_bars_all_zero():
 
     text = format_bars("Z", {"a": [0.0, 0.0]}, [1, 2])
     assert "0.0" in text
+
+
+# ---------------------------------------------------------------------------
+# percentiles: exact helpers vs numpy, histogram approximation
+
+
+class TestPercentileExact:
+    def test_matches_numpy_linear_interpolation(self):
+        rng = np.random.default_rng(42)
+        values = rng.lognormal(0.0, 1.5, size=2000)
+        from repro.metrics.stats import percentile_exact, percentiles_exact
+
+        for q in (0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0):
+            assert percentile_exact(values, q) == pytest.approx(
+                float(np.percentile(values, q))
+            )
+            assert percentile_exact(values, q) == pytest.approx(
+                float(np.quantile(values, q / 100.0))
+            )
+        ps = percentiles_exact(values)
+        assert set(ps) == {50.0, 99.0, 99.9}
+        assert ps[50.0] == pytest.approx(float(np.median(values)))
+
+    def test_small_inputs_and_errors(self):
+        from repro.metrics.stats import percentile_exact
+
+        assert percentile_exact([3.0], 99.0) == 3.0
+        assert percentile_exact([1.0, 2.0], 50.0) == pytest.approx(1.5)
+        with pytest.raises(ValueError):
+            percentile_exact([], 50.0)
+        with pytest.raises(ValueError):
+            percentile_exact([1.0], 101.0)
+
+
+class TestFixedBinHistogram:
+    def hist_and_values(self, n=50_000):
+        from repro.metrics.stats import FixedBinHistogram
+
+        rng = np.random.default_rng(7)
+        values = np.clip(rng.lognormal(0.0, 1.2, size=n), 1e-3, 1e4)
+        h = FixedBinHistogram()
+        h.add_many(values)
+        return h, values
+
+    def test_percentiles_conservative_and_tight(self):
+        h, values = self.hist_and_values()
+        for q in (50.0, 90.0, 99.0, 99.9):
+            exact = float(np.percentile(values, q))
+            approx = h.percentile(q)
+            # Upper bin edge: never under-reports, within one bin's width.
+            assert approx >= exact * 0.999
+            assert approx <= exact * 1.05
+
+    def test_streaming_equals_batch(self):
+        from repro.metrics.stats import FixedBinHistogram
+
+        h, values = self.hist_and_values(n=500)
+        one = FixedBinHistogram()
+        for v in values:
+            one.add(float(v))
+        assert np.array_equal(one.counts, h.counts)
+        assert one.p50 == h.p50 and one.p999 == h.p999
+
+    def test_overflow_bin_and_nonfinite(self):
+        from repro.metrics.stats import FixedBinHistogram
+
+        h = FixedBinHistogram(lo=1.0, hi=10.0, bins=4)
+        h.add(1e9)  # above hi: lands in the +inf overflow bin
+        assert h.percentile(99.0) == float("inf")
+        with pytest.raises(ValueError):
+            h.add(float("nan"))
+        with pytest.raises(ValueError):
+            h.add_many([1.0, float("inf")])
+
+    def test_jsonable_round_trip_sparse(self):
+        from repro.metrics.stats import FixedBinHistogram
+
+        h, _ = self.hist_and_values(n=300)
+        data = h.to_jsonable()
+        back = FixedBinHistogram.from_jsonable(data)
+        assert np.array_equal(back.counts, h.counts)
+        assert back.p50 == h.p50 and back.p99 == h.p99

@@ -1,0 +1,77 @@
+"""Determinism and shape of the serving experiments.
+
+``ext_multiuser`` (closed-loop compatibility entry, now delegating to
+``repro.serve``) must render the exact same table on every same-seed
+run, and ``ext_serve`` must produce byte-identical reports per
+``(scheme, client count)`` cell — that byte-identity is what the CI
+serve job diffs across runs and across ``-j`` widths.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.multiuser import ext_multiuser
+from repro.experiments.serve_experiment import (
+    DEFAULT_CLIENTS,
+    base_plan,
+    ext_serve,
+    overload_plan,
+    serve_clients,
+)
+
+MU_ARGS = dict(
+    client_counts=(1, 2), data_mb=8, n_disks=4, pool=8, trials=1, seed=3
+)
+
+
+def test_ext_multiuser_same_seed_pins_the_table():
+    a = ext_multiuser(**MU_ARGS)
+    b = ext_multiuser(**MU_ARGS)
+    assert a.rows == b.rows
+    assert a.text() == b.text()
+
+
+def test_ext_multiuser_shape_and_contention():
+    r = ext_multiuser(**MU_ARGS)
+    assert [row["scheme"] for row in r.rows] == ["raid0"] * 2 + ["robustore"] * 2
+    assert [row["clients"] for row in r.rows] == [1, 2, 1, 2]
+    for row in r.rows:
+        assert row["lat_s"] > 0
+        assert row["aggregate_MBps"] == pytest.approx(
+            row["per_client_MBps"] * row["clients"], abs=0.5
+        )
+    by = {(row["scheme"], row["clients"]): row for row in r.rows}
+    # Two clients sharing the drives are no faster per client than one.
+    for scheme in ("raid0", "robustore"):
+        assert by[(scheme, 2)]["lat_s"] >= by[(scheme, 1)]["lat_s"]
+
+
+def test_ext_serve_deterministic_and_complete():
+    a = ext_serve(client_counts=(200,), seed=5)
+    b = ext_serve(client_counts=(200,), seed=5)
+    assert a.reports == b.reports
+    assert a.text() == b.text()
+    assert [r.scheme for r in a.reports] == ["raid0", "robustore"]
+    for r in a.reports:
+        assert r.n_clients == 200
+        assert r.offered == 200
+        assert r.admitted + r.rejected == r.offered
+    assert "p999_s" in a.text() and "goodput_MBps" in a.text()
+
+
+def test_serve_clients_env_override(monkeypatch):
+    monkeypatch.delenv("REPRO_SERVE_CLIENTS", raising=False)
+    assert serve_clients() == DEFAULT_CLIENTS
+    monkeypatch.setenv("REPRO_SERVE_CLIENTS", "100, 2000")
+    assert serve_clients() == (100, 2000)
+    monkeypatch.setenv("REPRO_SERVE_CLIENTS", "0")
+    with pytest.raises(ValueError):
+        serve_clients()
+
+
+def test_plan_builders():
+    plan = base_plan(1234, seed=9)
+    assert plan.workload.n_clients == 1234 and plan.seed == 9
+    tight = overload_plan(1234)
+    assert tight.pool < plan.pool and tight.max_wait_s < plan.max_wait_s

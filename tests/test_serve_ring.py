@@ -1,0 +1,152 @@
+"""Property tests for the consistent-hash placement ring.
+
+The three guarantees serving placement rests on, in test form:
+
+* keys spread ~evenly across filers (bounded max/mean load with
+  virtual nodes);
+* adding or removing one filer remaps only ~1/n of the keys, and every
+  remapped key moves to (or off) exactly that filer;
+* the replica set of any key is always ``count`` *distinct* physical
+  nodes, primary first.
+
+All hashes come from ``stable_seed`` so every assertion here is exact
+and process-independent — no flaky statistical tolerances needed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.metadata_distributed import DistributedMetadataServer
+from repro.serve.ring import FilePlacer, HashRing
+
+KEYS = [f"f{i}" for i in range(20_000)]
+
+
+def census(ring: HashRing, keys=KEYS) -> dict:
+    counts: dict = {n: 0 for n in ring.nodes}
+    for k in keys:
+        counts[ring.primary(k)] += 1
+    return counts
+
+
+# ---------------------------------------------------------------------------
+# balance
+
+
+def test_balanced_distribution_with_vnodes():
+    ring = HashRing(range(16), vnodes=128)
+    counts = census(ring)
+    mean = len(KEYS) / len(ring)
+    assert all(c > 0 for c in counts.values())
+    assert max(counts.values()) / mean < 1.7
+    assert min(counts.values()) / mean > 0.4
+
+
+def test_more_vnodes_flatten_the_distribution():
+    few = census(HashRing(range(16), vnodes=8))
+    many = census(HashRing(range(16), vnodes=256))
+    mean = len(KEYS) / 16
+    assert max(many.values()) / mean < max(few.values()) / mean
+
+
+# ---------------------------------------------------------------------------
+# minimal remapping
+
+
+def test_adding_a_node_only_steals_keys():
+    ring = HashRing(range(16), vnodes=64)
+    before = {k: ring.primary(k) for k in KEYS}
+    ring.add_node(16)
+    moved = [k for k in KEYS if ring.primary(k) != before[k]]
+    # Every remapped key landed on the new node — no collateral shuffling.
+    assert moved and all(ring.primary(k) == 16 for k in moved)
+    # ~1/17 of keys move; allow generous slack on the vnode variance.
+    assert len(moved) < 2 * len(KEYS) / 17
+
+
+def test_removing_a_node_only_moves_its_keys():
+    ring = HashRing(range(16), vnodes=64)
+    before = {k: ring.primary(k) for k in KEYS}
+    ring.remove_node(3)
+    for k in KEYS:
+        if before[k] != 3:
+            assert ring.primary(k) == before[k]
+        else:
+            assert ring.primary(k) != 3
+
+
+def test_add_then_remove_restores_the_ring():
+    ring = HashRing(range(8), vnodes=32)
+    before = {k: ring.primary(k) for k in KEYS[:2000]}
+    ring.add_node(99)
+    ring.remove_node(99)
+    assert {k: ring.primary(k) for k in KEYS[:2000]} == before
+
+
+# ---------------------------------------------------------------------------
+# replica selection
+
+
+def test_replicas_always_distinct():
+    ring = HashRing(range(10), vnodes=64)
+    for k in KEYS[:2000]:
+        reps = ring.nodes_for(k, 3)
+        assert len(reps) == 3
+        assert len(set(reps)) == 3
+        assert reps[0] == ring.primary(k)
+
+
+def test_replica_count_capped_at_physical_nodes():
+    ring = HashRing(range(4), vnodes=16)
+    reps = ring.nodes_for("anything", 100)
+    assert sorted(reps) == [0, 1, 2, 3]
+
+
+def test_empty_ring_and_bad_count():
+    ring = HashRing()
+    assert ring.nodes_for("k", 3) == []
+    assert ring.primary("k") is None
+    assert HashRing(range(4)).nodes_for("k", 0) == []
+
+
+# ---------------------------------------------------------------------------
+# construction invariants
+
+
+def test_ring_identical_regardless_of_insertion_order():
+    a = HashRing([0, 1, 2, 3], vnodes=64)
+    b = HashRing([3, 1, 0, 2], vnodes=64)
+    assert [a.primary(k) for k in KEYS[:2000]] == [
+        b.primary(k) for k in KEYS[:2000]
+    ]
+
+
+def test_add_remove_idempotent_and_vnodes_validated():
+    ring = HashRing(range(4), vnodes=8)
+    ring.add_node(2)
+    ring.remove_node(77)
+    assert len(ring) == 4
+    with pytest.raises(ValueError):
+        HashRing(vnodes=0)
+
+
+# ---------------------------------------------------------------------------
+# FilePlacer: ring decision, metadata record
+
+
+def test_placer_records_and_serves_lookups():
+    ring = HashRing(range(8), vnodes=32)
+    meta = DistributedMetadataServer(n_nodes=2)
+    placer = FilePlacer(ring, meta)
+    filers = placer.place("fileA", 4 << 20, "robustore", replication_factor=3)
+    assert filers == ring.nodes_for("fileA", 3)
+    assert placer.lookup("fileA") == list(filers)
+    rec = meta.lookup("fileA")
+    assert rec.scheme == "robustore" and rec.size_bytes == 4 << 20
+
+
+def test_placer_empty_ring_raises():
+    placer = FilePlacer(HashRing(), DistributedMetadataServer(n_nodes=1))
+    with pytest.raises(ValueError):
+        placer.place("f", 1, "raid0", replication_factor=2)

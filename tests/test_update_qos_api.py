@@ -86,6 +86,23 @@ class TestQoS:
         out = plan_access(base, QoSOptions(max_latency_std_s=0.1))
         assert out.block_bytes == 1 * MB
 
+    def test_nonpositive_redundancy_budget_rejected(self):
+        base = AccessConfig()
+        for bad in (0.0, -1.0):
+            with pytest.raises(ValueError, match="redundancy_budget"):
+                plan_access(base, QoSOptions(redundancy_budget=bad))
+
+    def test_nonpositive_bandwidth_target_rejected(self):
+        base = AccessConfig()
+        for bad in (0.0, -50.0):
+            with pytest.raises(ValueError, match="target_bandwidth_mbps"):
+                plan_access(base, QoSOptions(target_bandwidth_mbps=bad))
+
+    def test_unset_bandwidth_target_means_no_requirement(self):
+        base = AccessConfig(n_disks=8)
+        out = plan_access(base, QoSOptions(), DiskProfile(pool_size=128))
+        assert out.n_disks == 8
+
 
 class TestApi:
     def test_roundtrip_bytes_exact(self):
