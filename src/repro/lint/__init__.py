@@ -10,7 +10,12 @@ enforces those conventions with a small AST-based rule engine:
 * ``# lint: disable=RULE`` on the offending line suppresses a finding
   (add a short justification in the same comment).
 * Rules are registered with :func:`repro.lint.engine.rule` so new
-  conventions can be enforced with a single function.
+  conventions can be enforced with a single function.  File rules see
+  one :class:`FileContext` at a time; project rules (``project=True``)
+  see a whole-program :class:`repro.lint.project.ProjectContext` with
+  import/call graphs, enabling interprocedural checks (SIM010-SIM012).
+* Findings are cached under ``.repro-cache/lint/`` keyed by rule set
+  and file contents; unchanged repeat runs replay instantly.
 
 See ``docs/static_analysis.md`` for each rule's rationale.  The runtime
 complement to the static pass is the DES sanitizer
@@ -21,6 +26,7 @@ complement to the static pass is the DES sanitizer
 from repro.lint.engine import (
     FileContext,
     Finding,
+    LintReport,
     Rule,
     Severity,
     all_rules,
@@ -28,12 +34,14 @@ from repro.lint.engine import (
     lint_paths,
     lint_source,
     rule,
+    run_lint,
 )
 
 # Importing the rule modules registers the built-in rules.
 from repro.lint import (  # noqa: F401  (registration side effect)
     rules_exec,
     rules_policy,
+    rules_project,
     rules_py,
     rules_serve,
     rules_sim,
@@ -42,6 +50,7 @@ from repro.lint import (  # noqa: F401  (registration side effect)
 __all__ = [
     "FileContext",
     "Finding",
+    "LintReport",
     "Rule",
     "Severity",
     "all_rules",
@@ -49,4 +58,5 @@ __all__ = [
     "lint_paths",
     "lint_source",
     "rule",
+    "run_lint",
 ]

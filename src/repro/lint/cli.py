@@ -5,18 +5,32 @@ finding; 2 — usage error.  ``--format json`` emits a machine-readable
 report (schema below) for CI; the default human format is one
 ``path:line:col: RULE [severity] message`` line per finding.
 
+Runs are cached by a content digest of the rule set and the analysis
+corpus (``.repro-cache/lint/``, see :mod:`repro.lint.cache`): a repeat
+run with unchanged inputs replays its findings *and* per-rule timings
+byte-identically without re-parsing a single file.  ``--no-cache``
+bypasses the cache; ``--cache-dir`` relocates it; cache status goes to
+stderr so stdout stays diffable.
+
 JSON schema (``--format json``)::
 
     {
-      "version": 1,
+      "version": 2,
       "findings": [
         {"rule": "SIM001", "severity": "error", "path": "...",
          "line": 12, "col": 5, "message": "..."},
         ...
       ],
       "counts": {"error": 2, "warning": 0},
-      "files_checked": 83
+      "files_checked": 83,
+      "rules": {"SIM001": {"seconds": 0.0123}, ...}
     }
+
+``rules`` carries cumulative per-rule wall seconds (project rules also
+share the whole-program corpus-build cost), so lint cost stays visible
+in the CI trajectory.  A warm-cache run replays the seconds recorded
+when the entry was written — by design, so cold and warm reports diff
+clean.
 """
 
 from __future__ import annotations
@@ -26,10 +40,11 @@ import json
 import sys
 from typing import Optional, Sequence
 
-from repro.lint.engine import Severity, all_rules, iter_py_files, lint_paths
+from repro.lint.cache import default_cache_dir
+from repro.lint.engine import LintReport, Severity, all_rules, iter_py_files, run_lint
 
-#: Schema version of the JSON report.
-JSON_VERSION = 1
+#: Schema version of the JSON report (2: adds per-rule timing).
+JSON_VERSION = 2
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -57,12 +72,24 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list-rules",
         action="store_true",
-        help="print the registered rules and exit",
+        help="print the registered rules (with their scope) and exit",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="always re-analyse; do not read or write the findings cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="findings cache location (default: $REPRO_CACHE_DIR/lint "
+        "or .repro-cache/lint)",
     )
     return parser
 
 
-def _report(findings, n_files: int, fmt: str, out) -> None:
+def _report(report: LintReport, fmt: str, out) -> None:
+    findings = report.findings
     counts = {
         "error": sum(1 for f in findings if f.severity is Severity.ERROR),
         "warning": sum(1 for f in findings if f.severity is Severity.WARNING),
@@ -73,7 +100,11 @@ def _report(findings, n_files: int, fmt: str, out) -> None:
                 "version": JSON_VERSION,
                 "findings": [f.to_dict() for f in findings],
                 "counts": counts,
-                "files_checked": n_files,
+                "files_checked": report.files_checked,
+                "rules": {
+                    rid: {"seconds": report.rule_seconds[rid]}
+                    for rid in sorted(report.rule_seconds)
+                },
             },
             out,
             indent=2,
@@ -84,7 +115,7 @@ def _report(findings, n_files: int, fmt: str, out) -> None:
         out.write(finding.render() + "\n")
     summary = (
         f"{counts['error']} error(s), {counts['warning']} warning(s) "
-        f"in {n_files} file(s)"
+        f"in {report.files_checked} file(s)"
     )
     out.write(("" if not findings else "\n") + summary + "\n")
 
@@ -97,7 +128,9 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     rules = all_rules()
     if args.list_rules:
         for rule in rules.values():
-            out.write(f"{rule.id} [{rule.severity.value}] {rule.summary}\n")
+            out.write(
+                f"{rule.id} [{rule.severity.value}] ({rule.scope}) {rule.summary}\n"
+            )
         return 0
 
     select = None
@@ -110,6 +143,11 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     files = list(iter_py_files(args.paths))
     if not files:
         parser.error(f"no .py files found under: {' '.join(map(str, args.paths))}")
-    findings = lint_paths(files, select)
-    _report(findings, len(files), args.format, out)
-    return 1 if any(f.severity is Severity.ERROR for f in findings) else 0
+    cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
+    report = run_lint(files, select, cache_dir=cache_dir)
+    if cache_dir is not None:
+        sys.stderr.write(
+            f"# lint cache: {'hit' if report.cache_hit else 'miss'} ({cache_dir})\n"
+        )
+    _report(report, args.format, out)
+    return 1 if any(f.severity is Severity.ERROR for f in report.findings) else 0

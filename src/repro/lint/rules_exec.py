@@ -33,10 +33,9 @@ _UUID_NONDET_FNS = {"uuid1", "uuid4"}
     Severity.ERROR,
     "no wall-clock / PID / UUID-derived values inside repro.exec — "
     "payloads and cache entries must be deterministic",
+    packages=("exec",),
 )
 def check_exec_determinism(ctx: FileContext) -> Iterator:
-    if not ctx.in_packages("exec"):
-        return
     flagged = {
         "time": (_module_aliases(ctx.tree, "time"), _TIME_CLOCK_FNS),
         "os": (_module_aliases(ctx.tree, "os"), _OS_PROCESS_FNS),

@@ -62,17 +62,17 @@ def _attr_writes(func: ast.AST, receiver: str) -> Iterator[ast.AST]:
     "SIM007",
     Severity.ERROR,
     "policy classes under repro/core/policy must be stateless",
+    packages=("core/policy",),
 )
 def check_policy_stateless(ctx: FileContext) -> Iterator:
     """Flag instance-attribute writes outside constructors in policy classes.
 
-    Scope: class bodies in files under ``repro/core/policy/``.  Module
-    functions and constructor methods (``__init__``/``__post_init__``)
-    are exempt; everything else a method writes must be a local or live
-    in an explicitly stateful object passed in (tracker, scheme, run).
+    Scope: class bodies in files under ``repro/core/policy/`` (declared
+    in the registry).  Module functions and constructor methods
+    (``__init__``/``__post_init__``) are exempt; everything else a
+    method writes must be a local or live in an explicitly stateful
+    object passed in (tracker, scheme, run).
     """
-    if not (ctx.in_packages("policy") and ctx.in_packages("core")):
-        return
     for cls in ctx.walk((ast.ClassDef,)):
         for func in cls.body:
             if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):

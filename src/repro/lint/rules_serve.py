@@ -49,10 +49,9 @@ _HINT = (
     Severity.ERROR,
     "no unseeded RNG / wall-clock / PID / UUID entropy inside repro.serve — "
     "serving cells must reproduce from their plan seed alone",
+    packages=("serve",),
 )
 def check_serve_determinism(ctx: FileContext) -> Iterator:
-    if not ctx.in_packages("serve"):
-        return
     flagged = {
         "time": (_module_aliases(ctx.tree, "time"), _TIME_CLOCK_FNS),
         "os": (_module_aliases(ctx.tree, "os"), _OS_PROCESS_FNS),

@@ -74,10 +74,9 @@ _DATETIME_CLOCK_FNS = {"now", "utcnow", "today"}
     "SIM001",
     Severity.ERROR,
     "no wall-clock reads inside src/repro — use Environment.now",
+    repro_only=True,
 )
 def check_wall_clock(ctx: FileContext) -> Iterator:
-    if not ctx.under_repro():
-        return
     time_aliases = _module_aliases(ctx.tree, "time")
     time_names = {
         local
@@ -349,10 +348,9 @@ def _has_early_return_guard(func: ast.AST, call: ast.Call) -> bool:
     "SIM004",
     Severity.ERROR,
     "tracer record calls in core/, disk/, cluster/ must be guarded by tracer.enabled",
+    packages=_HOT_PACKAGES,
 )
 def check_tracer_guard(ctx: FileContext) -> Iterator:
-    if not ctx.in_packages(*_HOT_PACKAGES):
-        return
     for node in ctx.walk((ast.Call,)):
         func = node.func
         if not (

@@ -68,6 +68,31 @@ def stable_digest(*parts) -> str:
     return "".join(f"{_fold_parts(parts, base):08x}" for base in _DIGEST_LANES)
 
 
+#: Declared stream universe: every ``hub.stream(...)`` / ``hub.fresh(...)``
+#: call site in the ``repro`` package must use one of these names as a
+#: string literal, with a key of the declared total arity (name included)
+#: — enforced whole-program by lint rule SIM011.  A typo'd name or a
+#: drifted key shape would silently fork the RNG tree and perturb every
+#: later draw; declaring the shape here makes that a lint error instead.
+#:
+#: Values are the allowed key arity — an int, or a tuple of ints where
+#: one name is legitimately used at two granularities (``"env"`` is
+#: drawn per-trial in serving/extension cells and per-(scheme, trial) in
+#: the harness; renaming either would change every committed golden).
+STREAMS = {
+    "env": (2, 3),        #: disk-state redraw; (…, trial) / (…, scheme, trial)
+    "env2": 3,            #: write-phase second redraw (harness)
+    "faults": 3,          #: MTTF/MTTR fault-storm draws (harness)
+    "select": 3,          #: scheme disk selection (core.base)
+    "svc": (3, 5),        #: per-disk service draws (serve replay / core.base)
+    "cal-env": 3,         #: serving calibration environments
+    "repair-extend": 3,   #: repair-time redundancy extension draws
+    "serve": 2,           #: workload generation + service facade
+    "disk": 2,            #: per-disk layout draws (doctest/tests convention)
+    "bg": 3,              #: background-workload generators
+}
+
+
 class RngHub:
     """Root of a tree of named, independent random generators.
 
