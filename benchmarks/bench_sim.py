@@ -1,0 +1,217 @@
+"""Hot-path simulator benchmark: fig6_06 grid + DES kernel throughput.
+
+Measures two things and appends them to the ``BENCH_sim.json`` trajectory:
+
+* **fig6_06 grid** — every (disk count, scheme) cell of the paper's
+  read-scaling sweep, run sequentially in-process (no executor, no cache)
+  so the number is the simulator itself.  Reports wall per trial and
+  *events/sec*, where an event is one client-consumed block arrival
+  (``AccessResult.blocks_received``) — the unit of work the completion
+  loop, trackers and disk-service models all scale with.
+* **DES kernel** — schedule/dispatch throughput of the event calendar
+  under a timeout-churn workload with duplicate timestamps and mixed
+  URGENT/NORMAL priorities (events/sec through ``Environment.step``).
+
+The grid's full ``AccessResult`` stream is folded into a content digest
+(:func:`repro.sim.rng.stable_digest`): ``--check`` re-runs the grid and
+fails if the digest drifted from the committed file (the simulation is no
+longer bit-identical to the recorded baseline) or if events/sec regressed
+by more than ``--tolerance`` (default 10%) against the newest committed
+trajectory entry — the CI gate that makes every PR's speedup or
+regression visible.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sim.py --out BENCH_sim.json
+    PYTHONPATH=src python benchmarks/bench_sim.py --check   # CI gate
+
+Not a pytest-benchmark target on purpose: the trajectory file needs to
+own its grid parameters (trials, data size) rather than inherit the
+harness fixture's.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+
+#: Grid parameters.  Chosen so the whole grid runs in well under a minute
+#: on the 1-core CI container while still covering the 128-disk tail.
+DISK_COUNTS = (2, 8, 16, 64, 128)
+TRIALS = 16
+DATA_MB = 256
+
+#: Events the kernel micro-benchmark dispatches.
+KERNEL_EVENTS = 200_000
+
+#: The multi-core speedup target recorded in the file (ROADMAP "Hot-path
+#: performance program"); the 1-core container gate is 2x.
+MULTICORE_TARGET_X = 5.0
+
+
+def run_grid() -> tuple[float, int, int, str]:
+    """Run the fig6_06 grid sequentially; return (wall, trials, events, digest)."""
+    from repro.experiments import config as C
+    from repro.experiments.harness import TrialPlan, run_scheme
+    from repro.sim.rng import stable_digest
+
+    # Warm lazy imports and numpy kernels outside the timed window with
+    # the cheapest grid cell: the number measured is simulator throughput,
+    # not one-time module loading.  A prior run_scheme call cannot perturb
+    # the grid results — every (plan, scheme) run re-derives its streams
+    # from the root seed (the digest is identical with or without warmup).
+    run_scheme(
+        TrialPlan(access=C.baseline_access(n_disks=DISK_COUNTS[0]), mode="read", seed=0),
+        C.ALL_SCHEMES[0],
+    )
+
+    n_trials = 0
+    events = 0
+    payload = []
+    t0 = time.perf_counter()
+    for h in DISK_COUNTS:
+        plan = TrialPlan(access=C.baseline_access(n_disks=h), mode="read", seed=0)
+        for name in C.ALL_SCHEMES:
+            results = run_scheme(plan, name)
+            n_trials += len(results)
+            events += sum(r.blocks_received for r in results)
+            payload.append((h, name, [r.to_jsonable() for r in results]))
+    wall = time.perf_counter() - t0
+    digest = stable_digest(json.dumps(payload, sort_keys=True))
+    return wall, n_trials, events, digest
+
+
+def run_kernel(n_events: int = KERNEL_EVENTS) -> tuple[float, int]:
+    """Timeout-churn through the DES kernel; return (wall, events dispatched).
+
+    100 processes cycle through delays with heavy timestamp collisions and
+    both scheduling priorities (URGENT via process initialisation), the
+    adversarial mix the calendar's total order must get right.
+    """
+    from repro.sim.core import Environment
+
+    env = Environment()
+    n_procs = 100
+    iters = n_events // n_procs
+    delays = (0.0, 0.001, 0.001, 0.002, 0.0, 0.003)
+
+    def churn(env, i):
+        for j in range(iters):
+            yield env.timeout(delays[(i + j) % len(delays)])
+
+    for i in range(n_procs):
+        env.process(churn(env, i))
+    t0 = time.perf_counter()
+    env.run()
+    wall = time.perf_counter() - t0
+    # Each iteration dispatches one Timeout event; process start/finish
+    # events are a rounding error at this scale.
+    return wall, n_procs * iters
+
+
+def measure(label: str) -> dict:
+    """One trajectory entry: grid + kernel measurements."""
+    os.environ["REPRO_TRIALS"] = str(TRIALS)
+    os.environ["REPRO_DATA_MB"] = str(DATA_MB)
+    wall, n_trials, events, digest = run_grid()
+    k_wall, k_events = run_kernel()
+    return {
+        "label": label,
+        "grid_wall_s": round(wall, 3),
+        "trials": n_trials,
+        "wall_per_trial_s": round(wall / n_trials, 5),
+        "events": events,
+        "events_per_s": round(events / wall, 1),
+        "kernel_events_per_s": round(k_events / k_wall, 1),
+        "results_digest": digest,
+    }
+
+
+def load(path: pathlib.Path) -> dict | None:
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_sim.json", metavar="PATH")
+    parser.add_argument("--label", default=None, help="trajectory entry label")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="CI gate: verify bit-identity and events/sec against --out",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="allowed fractional events/sec regression in --check (default 0.10)",
+    )
+    args = parser.parse_args(argv)
+    path = pathlib.Path(args.out)
+    committed = load(path)
+
+    entry = measure(args.label or ("check" if args.check else "dev"))
+
+    if args.check:
+        if not committed or not committed.get("trajectory"):
+            print(f"FATAL: no committed trajectory at {path}", file=sys.stderr)
+            return 1
+        latest = committed["trajectory"][-1]
+        ok = True
+        if entry["results_digest"] != latest["results_digest"]:
+            print(
+                "FATAL: fig6_06 grid results drifted from the committed "
+                f"baseline (digest {entry['results_digest']} != "
+                f"{latest['results_digest']}) — the simulator is no longer "
+                "bit-identical; regenerate BENCH_sim.json only for a "
+                "deliberate semantic change",
+                file=sys.stderr,
+            )
+            ok = False
+        floor = (1.0 - args.tolerance) * latest["events_per_s"]
+        if entry["events_per_s"] < floor:
+            print(
+                f"FATAL: events/sec regressed >{args.tolerance:.0%}: "
+                f"{entry['events_per_s']} < {floor:.1f} "
+                f"(committed {latest['events_per_s']})",
+                file=sys.stderr,
+            )
+            ok = False
+        print(json.dumps(entry, indent=2, sort_keys=True))
+        print("check:", "OK" if ok else "FAILED")
+        return 0 if ok else 1
+
+    bench = committed or {
+        "grid": {
+            "experiment": "fig6_06",
+            "disk_counts": list(DISK_COUNTS),
+            "schemes": ["raid0", "rraid-s", "rraid-a", "robustore"],
+            "trials": TRIALS,
+            "data_mb": DATA_MB,
+            "kernel_events": KERNEL_EVENTS,
+        },
+        "multicore_target_x": MULTICORE_TARGET_X,
+        "trajectory": [],
+    }
+    bench["cpu_count"] = os.cpu_count()
+    bench["trajectory"].append(entry)
+    base = bench["trajectory"][0]
+    bench["speedup_vs_first"] = round(
+        entry["events_per_s"] / base["events_per_s"], 3
+    )
+    bench["kernel_speedup_vs_first"] = round(
+        entry["kernel_events_per_s"] / base["kernel_events_per_s"], 3
+    )
+    path.write_text(json.dumps(bench, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(bench, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

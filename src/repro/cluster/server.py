@@ -11,7 +11,7 @@ from repro.cluster.filer import Filer
 from repro.cluster.fscache import SetAssociativeCache
 from repro.disk.mechanics import DiskMechanics
 from repro.disk.service import BackgroundLoad, BlockService
-from repro.disk.workload import InDiskLayout, draw_layout
+from repro.disk.workload import BLOCKING_FACTORS, InDiskLayout, layout_at
 from repro.net.link import Link
 from repro.obs.tracer import NULL_TRACER
 
@@ -140,12 +140,33 @@ class Cluster:
         zones = self.mechanics.geometry.zones
         bg = background_intervals or {}
         failed = failed_disks or set()
-        for d in range(self.n_disks):
-            lay = layout if layout is not None else draw_layout(rng)
-            zi = fixed_zone if fixed_zone is not None else int(rng.integers(0, len(zones)))
+        n = self.n_disks
+        # Per-disk draw pattern: (bf, p_seq) indices when the layout is
+        # heterogeneous, then a zone index when none is pinned.  One
+        # broadcast bounded-integer call consumes the PCG64 bit stream
+        # exactly as the per-disk scalar draws did (numpy's array-bound
+        # path rejects per element in order; verified value- and
+        # state-identical across seeds), so trials stay bit-identical.
+        pat = []
+        if layout is None:
+            pat += [len(BLOCKING_FACTORS), 2]
+        if fixed_zone is None:
+            pat.append(len(zones))
+        rows = None
+        if pat:
+            rows = rng.integers(0, np.tile(np.array(pat), n)).reshape(n, len(pat)).tolist()
+        states = self._disk_states
+        for d in range(n):
+            if layout is None:
+                row = rows[d]
+                lay = layout_at(row[0], row[1])
+                zi = fixed_zone if fixed_zone is not None else row[-1]
+            else:
+                lay = layout
+                zi = fixed_zone if fixed_zone is not None else rows[d][0]
             spt = int(zones[zi].sectors_per_track)
             load = BackgroundLoad(bg[d]) if d in bg else None
-            self._disk_states[d] = DiskState(d, lay, spt, load, failed=d in failed)
+            states[d] = DiskState(d, lay, spt, load, failed=d in failed)
 
     def disk_state(self, disk_id: int) -> DiskState:
         return self._disk_states[disk_id]
@@ -181,9 +202,24 @@ class Cluster:
         """The fault timeline of the link serving ``disk_id`` (or ``None``)."""
         return None if self.faults is None else self.faults.link_for_disk(disk_id)
 
-    def block_service(self, disk_id: int, rng: np.random.Generator) -> BlockService:
-        """A vectorised service model bound to the disk's current state."""
+    def block_service(
+        self,
+        disk_id: int,
+        rng: np.random.Generator,
+        phase_rng_for=None,
+    ) -> BlockService:
+        """A vectorised service model bound to the disk's current state.
+
+        ``phase_rng_for(disk_id)`` (when given) supplies the dedicated
+        ``"bgphase"`` stream for the background phase draw.  It is only
+        invoked when the disk actually carries a background load — stream
+        derivation costs real hash work, and background-free experiments
+        (most of the grid) must not pay it per disk per access.
+        """
         st = self._disk_states[disk_id]
+        phase_rng = None
+        if phase_rng_for is not None and st.background is not None:
+            phase_rng = phase_rng_for(disk_id)
         return BlockService(
             self.mechanics,
             st.layout,
@@ -192,6 +228,7 @@ class Cluster:
             st.background,
             failed=st.failed,
             timeline=self.disk_timeline(disk_id),
+            phase_rng=phase_rng,
         )
 
     def age_caches(self, window_s: float) -> None:

@@ -16,7 +16,7 @@ Two operating modes:
 
 from __future__ import annotations
 
-from collections import deque
+from collections import defaultdict, deque
 
 import numpy as np
 
@@ -41,6 +41,13 @@ class PeelingDecoder:
         self.k = graph.k
         self.block_len = block_len
         self._decoded = np.zeros(self.k, dtype=bool)
+        # Mirror of ``_decoded`` with O(1) native indexing: the add/ripple
+        # loops probe it per neighbour, where numpy scalar indexing is the
+        # dominant cost at LT degrees (~ln k elements per block).
+        self._dec = bytearray(self.k)
+        # coded_id -> neighbours as a native int tuple (graph arrays are
+        # numpy; converting once per coded block keeps the loops pure-C).
+        self._nbt: dict[int, tuple[int, ...]] = {}
         self._decoded_count = 0
         self._blocks_used = 0
         self._xor_ops = 0
@@ -53,10 +60,19 @@ class PeelingDecoder:
         #: graph-repair pass must not replace these).
         self.resolvers: set[int] = set()
         # original id -> arrived coded blocks still referencing it.
-        self._rev: dict[int, list[int]] = {}
+        self._rev: dict[int, list[int]] = defaultdict(list)
         self._payloads: dict[int, np.ndarray] = {}
+        self._xor_workers = 1
         if block_len is not None:
             self._data = np.zeros((self.k, block_len), dtype=np.uint8)
+            # Striped threaded XOR for the lazy per-resolution work
+            # (byte-identical; only worthwhile on multi-MB blocks, which
+            # striped_xor_into gates on internally).  Imported lazily so
+            # the symbolic simulator hot path never touches the pool.
+            from repro.coding.parallel import coding_threads, striped_xor_into
+
+            self._xor_workers = coding_threads()
+            self._striped_xor = striped_xor_into
         else:
             self._data = None
 
@@ -110,17 +126,20 @@ class PeelingDecoder:
                 raise ValueError("data-mode decoder requires a payload")
             self._payloads[coded_id] = np.array(payload, dtype=np.uint8, copy=True)
 
-        nb = self.graph.neighbors[coded_id]
-        remaining = int(np.count_nonzero(~self._decoded[nb]))
+        nb = self._nbt.get(coded_id)
+        if nb is None:
+            nb = self._nbt[coded_id] = tuple(self.graph.neighbors[coded_id].tolist())
+        dec = self._dec
+        undecoded = [o for o in nb if not dec[o]]
+        remaining = len(undecoded)
         if remaining == 0:
             self._consumed.add(coded_id)
             self._payloads.pop(coded_id, None)
             return 0
         self._pending[coded_id] = remaining
-        for orig in nb:
-            o = int(orig)
-            if not self._decoded[o]:
-                self._rev.setdefault(o, []).append(coded_id)
+        rev = self._rev
+        for o in undecoded:
+            rev[o].append(coded_id)
         if remaining == 1:
             return self._ripple(coded_id)
         return 0
@@ -133,10 +152,10 @@ class PeelingDecoder:
             cj = queue.popleft()
             if self._pending.get(cj, 0) != 1:
                 continue
-            nb = self.graph.neighbors[cj]
-            undecoded = nb[~self._decoded[nb]]
-            assert undecoded.size == 1
-            target = int(undecoded[0])
+            dec = self._dec
+            undecoded = [o for o in self._nbt[cj] if not dec[o]]
+            assert len(undecoded) == 1
+            target = undecoded[0]
             self._resolve(target, cj)
             newly += 1
             # Releasing `target` may create new degree-one blocks.
@@ -155,19 +174,23 @@ class PeelingDecoder:
 
     def _resolve(self, original_id: int, coded_id: int) -> None:
         """Decode ``original_id`` from coded block ``coded_id`` (lazy XOR)."""
-        nb = self.graph.neighbors[coded_id]
+        nb = self._nbt[coded_id]
         self._edges_peeled += len(nb)
         if self._data is not None:
             buf = self._data[original_id]
             buf[:] = self._payloads[coded_id]
-            for other in nb:
-                o = int(other)
+            workers = self._xor_workers
+            for o in nb:
                 if o != original_id:
-                    xor_into(buf, self._data[o])
+                    if workers > 1:
+                        self._striped_xor(buf, self._data[o], workers)
+                    else:
+                        xor_into(buf, self._data[o])
                     self._xor_ops += 1
         else:
             self._xor_ops += max(0, len(nb) - 1)
         self._decoded[original_id] = True
+        self._dec[original_id] = 1
         self._decoded_count += 1
         self._pending.pop(coded_id, None)
         self._consumed.add(coded_id)

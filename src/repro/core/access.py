@@ -115,6 +115,11 @@ def _jsonable(value):
     JSON round-trips: floats survive exactly (including ``inf``/``nan``),
     and every container lands in the one shape ``json.loads`` produces.
     """
+    if type(value) in (int, float, str, bool, type(None)):
+        # Exact-type fast path: the overwhelming share of values are
+        # already-plain scalars (numpy subclasses fall through to the
+        # isinstance chain below).
+        return value
     if isinstance(value, dict):
         return {str(k): _jsonable(v) for k, v in value.items()}
     if isinstance(value, (list, tuple)):
@@ -287,6 +292,7 @@ def serve_read_queues(
     """
     streams: list[DiskStream] = []
     tracer = cluster.tracer
+    phase_rng_for = getattr(rng_for, "phase_rng_for", None)
     for idx, disk_id in enumerate(disk_ids):
         disk_id = int(disk_id)
         filer = cluster.filer_of_disk(disk_id)
@@ -294,14 +300,27 @@ def serve_read_queues(
         one_way = filer.link.one_way_s
         t_arrive = request_arrival_time(cluster, disk_id, t_send, one_way)
         cached = filer.cached_blocks(file_name, blocks)
-        n_uncached = int(np.count_nonzero(~cached))
-        svc = cluster.block_service(disk_id, rng_for(disk_id))
-        completions = svc.serve(n_uncached, block_bytes, t_arrive)
-        arrivals = np.empty(blocks.size, dtype=np.float64)
-        arrivals[cached] = response_arrival_times(cluster, disk_id, t_arrive, one_way)
-        arrivals[~cached] = response_arrival_times(
-            cluster, disk_id, completions, one_way
+        n_cached = int(np.count_nonzero(cached))
+        n_uncached = blocks.size - n_cached
+        svc = cluster.block_service(
+            disk_id, rng_for(disk_id), phase_rng_for=phase_rng_for
         )
+        completions = svc.serve(n_uncached, block_bytes, t_arrive)
+        if n_cached == 0:
+            # Common case (cold filesystem cache): every block queues at
+            # the disk — same values as the masked assignment below.
+            arrivals = np.asarray(
+                response_arrival_times(cluster, disk_id, completions, one_way),
+                dtype=np.float64,
+            )
+        else:
+            arrivals = np.empty(blocks.size, dtype=np.float64)
+            arrivals[cached] = response_arrival_times(
+                cluster, disk_id, t_arrive, one_way
+            )
+            arrivals[~cached] = response_arrival_times(
+                cluster, disk_id, completions, one_way
+            )
         if tracer.enabled:
             tracer.span(
                 "filer.request",
@@ -410,6 +429,20 @@ def completion_with_order(
     too; plain ``add``-only trackers keep working unchanged.
     """
     times, ids = merged_arrival_order(streams, block_bytes, client_bandwidth_bps)
+    # Class-level lookup on purpose: recording/tracing proxies that forward
+    # attribute access to an inner tracker must keep the scalar loop, or
+    # their observe() hook would be silently bypassed.
+    consume = getattr(type(tracker), "consume_arrivals", None)
+    if consume is not None and times.size:
+        # Batched fast path (AllBlocks/Coverage trackers): same
+        # (t_fill, consumed) as the scalar loop, proven element-for-element
+        # by tests/test_trackers_batch.py.
+        t_fill, consumed = consume(tracker, times, ids)
+        if tracker.complete:
+            # t_fill may be inf (completed by a never-arriving block on a
+            # failed disk) — completion, not time, decides the slice.
+            return t_fill, consumed, ids[:consumed].tolist()
+        return float("inf"), int(times.size), ids.tolist()
     observe = getattr(tracker, "observe", None)
     for consumed, (t, bid) in enumerate(zip(times, ids), start=1):
         if observe is not None:
@@ -489,12 +522,15 @@ def simulate_uniform_write(
     t_done = t_send
     network_bytes = 0
     tracer = cluster.tracer
+    phase_rng_for = getattr(rng_for, "phase_rng_for", None)
     for idx, disk_id in enumerate(disk_ids):
         disk_id = int(disk_id)
         filer = cluster.filer_of_disk(disk_id)
         blocks = np.asarray(placement[idx], dtype=np.int64)
         one_way = filer.link.one_way_s
-        svc = cluster.block_service(disk_id, rng_for(disk_id))
+        svc = cluster.block_service(
+            disk_id, rng_for(disk_id), phase_rng_for=phase_rng_for
+        )
         t_arrive = request_arrival_time(cluster, disk_id, t_send, one_way)
         completions = svc.serve(blocks.size, block_bytes, t_arrive)
         if blocks.size:

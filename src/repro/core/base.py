@@ -60,8 +60,23 @@ class SchemeBase:
         return self.selector.select(self.config.n_disks, rng)
 
     def service_rng_factory(self, trial: int, phase: str) -> Callable[[int], np.random.Generator]:
-        """Per-disk service random streams for one access phase."""
-        return lambda disk_id: self.hub.fresh("svc", self.name, trial, phase, disk_id)
+        """Per-disk service random streams for one access phase.
+
+        The returned factory also carries a ``phase_rng_for`` attribute: a
+        sibling factory for the disk's background-phase draw (its own
+        ``"bgphase"`` stream, so the phase draw no longer perturbs the
+        service stream).  Callers probe it with ``getattr`` so hand-rolled
+        factories in tests keep the legacy draw-from-service-stream path.
+        """
+
+        def rng_for(disk_id: int) -> np.random.Generator:
+            return self.hub.fresh("svc", self.name, trial, phase, disk_id)
+
+        def phase_rng_for(disk_id: int) -> np.random.Generator:
+            return self.hub.fresh("bgphase", self.name, trial, phase, disk_id)
+
+        rng_for.phase_rng_for = phase_rng_for
+        return rng_for
 
     def open_latency(self) -> float:
         return open_latency_s(self.metadata)

@@ -13,7 +13,7 @@ from typing import Protocol
 import numpy as np
 
 from repro.cluster.metadata import FileRecord
-from repro.coding.lt import ImprovedLTCode
+from repro.coding.parallel import coding_threads, parallel_encode_ids, parallel_group_map
 from repro.coding.peeling import PeelingDecoder
 from repro.coding.reed_solomon import ReedSolomonCode
 from repro.core.access import AccessConfig
@@ -76,16 +76,19 @@ class ReplicaCodec:
 
 
 class LTCodec:
-    """RobuSTore: LT encode against the record's graph, peel to decode."""
+    """RobuSTore: LT encode against the record's graph, peel to decode.
+
+    Encode shards the stored coded-block ids over
+    ``REPRO_CODING_THREADS`` workers (each block's XOR is independent);
+    decode's per-resolution XOR uses the striped threaded kernel for
+    large blocks.  Both are byte-identical to the sequential kernels.
+    """
 
     def encode(self, blocks, record, cfg):
         graph = record.extra["graph"]
-        code = ImprovedLTCode(cfg.k, c=cfg.lt_c, delta=cfg.lt_delta)
-        return {
-            int(b): code.encode_one(blocks, graph, int(b))
-            for p in record.placement
-            for b in p
-        }
+        return parallel_encode_ids(
+            blocks, graph, (b for p in record.placement for b in p)
+        )
 
     def decode(self, arrival_order, payloads, record, cfg):
         graph = record.extra["graph"]
@@ -108,13 +111,19 @@ class RSGroupCodec:
     def encode(self, blocks, record, cfg):
         group, coded, code = self._codes(record, cfg)
         n_groups = record.coding["groups"]
-        out = {}
-        for g in range(n_groups):
+
+        def encode_group(g: int) -> np.ndarray:
             seg = blocks[g * group : (g + 1) * group]
             if seg.shape[0] < group:
                 pad = np.zeros((group - seg.shape[0], blocks.shape[1]), np.uint8)
                 seg = np.vstack([seg, pad])
-            coded_blocks = code.encode(seg)
+            return code.encode(seg)
+
+        # Each group's RS word is independent: REPRO_CODING_THREADS shards
+        # the groups, byte-identically to the sequential loop.
+        coded_by_group = parallel_group_map(encode_group, n_groups)
+        out = {}
+        for g, coded_blocks in enumerate(coded_by_group):
             for j in range(coded):
                 out[(g << 20) | j] = coded_blocks[j]
         return {bid: out[bid] for p in record.placement for bid in p}
@@ -127,12 +136,18 @@ class RSGroupCodec:
             g = bid >> 20
             if len(by_group[g]) < group:
                 by_group[g].append(bid)
-        out = np.zeros((cfg.k, cfg.block_bytes), dtype=np.uint8)
-        for g, ids in by_group.items():
-            if len(ids) < group:
-                raise ValueError(f"group {g} never filled")
+        short = [g for g, ids in by_group.items() if len(ids) < group]
+        if short:
+            raise ValueError(f"group {short[0]} never filled")
+
+        def decode_group(g: int) -> np.ndarray:
+            ids = by_group[g]
             local = [bid & 0xFFFFF for bid in ids]
-            decoded = code.decode(local, np.stack([payloads[b] for b in ids]))
+            return code.decode(local, np.stack([payloads[b] for b in ids]))
+
+        decoded_by_group = parallel_group_map(decode_group, n_groups)
+        out = np.zeros((cfg.k, cfg.block_bytes), dtype=np.uint8)
+        for g, decoded in enumerate(decoded_by_group):
             lo = g * group
             hi = min(cfg.k, lo + group)
             out[lo:hi] = decoded[: hi - lo]

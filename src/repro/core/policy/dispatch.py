@@ -96,14 +96,28 @@ class SpeculativeDispatch:
         )
 
 
-@dataclass
+@dataclass(eq=False)
 class _DiskRun:
-    """Per-disk adaptive-read state."""
+    """Per-disk adaptive-read state.
+
+    ``eq=False``: runs are identity-keyed (the generated field-wise
+    ``__eq__`` made every ``runs.index(run)`` an O(fields) comparison per
+    element — millions of calls on the hot path); ``idx`` carries the
+    run's position outright.
+    """
 
     disk_id: int
+    idx: int
     svc: BlockService
     one_way: float
     batch_ids: list[int] = field(default_factory=list)
+    #: ``batch_ids`` as an array, for vectorised eligibility counting.
+    ids_arr: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    #: ``H[batch_ids].cumsum(axis=0)``: ``hold_cum[i, d]`` counts batch
+    #: blocks among the first ``i+1`` that disk ``d`` holds replicas of,
+    #: so the victim scan reads any thief's pending-eligible count with
+    #: two scalar lookups instead of a fancy-index per candidate.
+    hold_cum: np.ndarray | None = None
     completions: np.ndarray = field(default_factory=lambda: np.empty(0))
     ready: float = 0.0
     version: int = 0
@@ -117,12 +131,12 @@ class _DiskRun:
         works at physical-request granularity (§5.3.3), so a partially
         transferred block can be abandoned and re-requested elsewhere.
         """
-        done = int(np.searchsorted(self.completions, t, side="right"))
+        done = int(self.completions.searchsorted(t, side="right"))
         return done, self.batch_ids[done:]
 
     def inflight_at(self, t: float) -> int | None:
         """Id of the block being served at ``t``, if any."""
-        done = int(np.searchsorted(self.completions, t, side="right"))
+        done = int(self.completions.searchsorted(t, side="right"))
         if done < len(self.batch_ids):
             start = float(self.completions[done - 1]) if done > 0 else self.batch_start
             if start < t:  # its service actually began before t
@@ -157,21 +171,42 @@ class AdaptiveDispatch:
         t0 = scheme.open_latency()
 
         # The placement's adaptive view: round-1 unit ids per disk index,
-        # and which disks can serve each unit.
+        # and which disks can serve each unit.  Unit ids are normalised to
+        # native ints here, once — every downstream list (batches, steal
+        # and keep sets, arrival records) inherits them unconverted.
         primaries, holder_map = spec.placement.adaptive_units(cfg, record)
+        primaries = [[int(b) for b in ids] for ids in primaries]
 
         def holders(block: int) -> set[int]:
             """Disk indices holding a copy of ``block``."""
             return holder_map.get(block, set())
 
+        # Dense holder matrix: H[unit, disk idx] — lets the victim scan
+        # count a disk's eligible pending units in one vector op instead
+        # of a per-unit set probe.
+        if holder_map:
+            n_units = 1 + max(
+                max(holder_map),
+                max((max(ids) for ids in primaries if ids), default=0),
+            )
+            H = np.zeros((n_units, len(disks)), dtype=bool)
+            for unit, holder_set in holder_map.items():
+                H[unit, list(holder_set)] = True
+        else:
+            H = None  # single-holder layout: nothing is ever eligible
+
+        phase_rng_for = getattr(rng_for, "phase_rng_for", None)
         runs: list[_DiskRun] = []
         for idx, disk_id in enumerate(disks):
             filer = scheme.cluster.filer_of_disk(int(disk_id))
             runs.append(
                 _DiskRun(
                     disk_id=int(disk_id),
+                    idx=idx,
                     svc=scheme.cluster.block_service(
-                        int(disk_id), rng_for(int(disk_id))
+                        int(disk_id),
+                        rng_for(int(disk_id)),
+                        phase_rng_for=phase_rng_for,
                     ),
                     one_way=filer.link.one_way_s,
                     ready=request_arrival_time(
@@ -180,6 +215,10 @@ class AdaptiveDispatch:
                 )
             )
 
+        # Victim-scan index: ready_arr[i] mirrors runs[i].ready for runs
+        # with a live batch and -inf for drained ones, so one vectorised
+        # compare yields the runs worth scanning at a decision point.
+        ready_arr = np.full(len(runs), -np.inf)
         arrivals: list[tuple[float, int]] = []
         events: list[tuple[float, int, int]] = []  # (finish, disk idx, version)
         rounds = 1
@@ -196,16 +235,31 @@ class AdaptiveDispatch:
         def serve_batch(run: _DiskRun, ids: list[int], t_start: float) -> None:
             nonlocal blocks_fetched, partial_bytes
             run.version += 1
-            run.batch_ids = list(ids)
+            # Callers pass fresh lists of native ints (primaries are
+            # normalised once, steal/keep are new listcomps), so the batch
+            # adopts the list without a per-element conversion pass.
+            run.batch_ids = ids
+            run.ids_arr = np.asarray(ids, dtype=np.int64)
             if not ids:
                 # Drained by theft: the disk is idle *now* and must still
                 # get its hand-off decision, or it would never steal again.
                 run.completions = np.empty(0)
                 run.ready = t_start
-                heapq.heappush(events, (t_start, runs.index(run), run.version))
+                ready_arr[run.idx] = -np.inf
+                heapq.heappush(events, (t_start, run.idx, run.version))
                 return
+            ids = run.batch_ids
+            run.hold_cum = (
+                H[run.ids_arr].cumsum(axis=0, dtype=np.int32) if H is not None else None
+            )
             services = run.svc.block_service_times(len(ids), cfg.block_bytes)
-            services *= np.array([frac.get(b, 1.0) for b in ids])
+            if frac:
+                # x * 1.0 is exact, so skipping the multiply when no block
+                # is fractional is bit-identical.
+                services *= np.array([frac.get(b, 1.0) for b in ids])
+                frac_total = max(1e-9, sum(frac.get(b, 1.0) for b in ids))
+            else:
+                frac_total = float(len(ids))
             # Callers pass the true start (request arrival / in-flight end);
             # the previous batch's `ready` is stale after a cancellation.
             run.batch_start = t_start
@@ -216,16 +270,23 @@ class AdaptiveDispatch:
             )
             # What the client *observes*: wall time per block including
             # background dilation — the honest basis for steal decisions.
-            frac_total = max(1e-9, sum(frac.get(b, 1.0) for b in ids))
             run.avg_block_s = (float(run.completions[-1]) - t_start) / frac_total
-            for bid, t in zip(ids, run.completions):
-                t_client = response_arrival_times(
-                    scheme.cluster, run.disk_id, float(t), run.one_way
-                )
-                arrivals.append((float(t_client), int(bid)))
-                served_by[int(bid)] = runs.index(run)
+            # One vectorised network hop for the whole batch; the link
+            # timeline maps ready times elementwise, so this matches the
+            # per-block calls exactly.
+            t_clients = np.asarray(
+                response_arrival_times(
+                    scheme.cluster, run.disk_id, run.completions, run.one_way
+                ),
+                dtype=np.float64,
+            )
+            # C-level bulk append/merge: zip builds the (t, bid) tuples and
+            # fromkeys the served_by entries without a Python-level loop.
+            arrivals.extend(zip(t_clients.tolist(), ids))
+            served_by.update(dict.fromkeys(ids, run.idx))
             blocks_fetched += len(ids)
             run.ready = float(run.completions[-1])
+            ready_arr[run.idx] = run.ready
             if tracer.enabled and np.isfinite(run.ready):
                 tracer.span(
                     "drive.batch",
@@ -235,7 +296,7 @@ class AdaptiveDispatch:
                     track="drive",
                     args={"disk": run.disk_id, "blocks": len(ids)},
                 )
-            heapq.heappush(events, (run.ready, runs.index(run), run.version))
+            heapq.heappush(events, (run.ready, run.idx, run.version))
 
         # Round 1: each unit's primary disk.  Filesystem-cache hits are
         # served by the filer at request time and never queue at disks.
@@ -269,16 +330,30 @@ class AdaptiveDispatch:
                 continue
             t_dec = finish + a.one_way  # client learns disk A drained
 
-            # Victim: most unserved blocks that A holds replicas of.
-            best_b, best_elig = None, []
-            for b_idx, b in enumerate(runs):
-                if b_idx == a_idx:
-                    continue
-                _, pending = b.pending_at(t_dec)
-                elig = [x for x in pending if a_idx in holders(x)]
-                if len(elig) > len(best_elig):
-                    best_b, best_elig = b_idx, elig
-            if best_b is None or not best_elig:
+            # Victim: most unserved blocks that A holds replicas of.  The
+            # strict ``>`` keeps the seed's first-wins tie-breaking; only
+            # the count matters for selection, so the eligible *list* is
+            # materialised for the winner alone (below, at t_cancel).
+            best_b, best_cnt = None, 0
+            if H is not None:
+                # Drained runs are the common case late in the access: one
+                # vectorised compare over the ready index yields only the
+                # runs still serving past t_dec (side="right" below makes
+                # ready <= t_dec exactly the all-served condition, and
+                # drained/empty runs sit at -inf), in index order — the
+                # same first-wins tie-breaking as the full scan.
+                for b_idx in np.nonzero(ready_arr > t_dec)[0].tolist():
+                    if b_idx == a_idx:
+                        continue
+                    b = runs[b_idx]
+                    done = int(b.completions.searchsorted(t_dec, side="right"))
+                    cum = b.hold_cum
+                    cnt = int(cum[-1, a_idx])
+                    if done:
+                        cnt -= int(cum[done - 1, a_idx])
+                    if cnt > best_cnt:
+                        best_b, best_cnt = b_idx, cnt
+            if best_b is None:
                 continue  # nothing worth stealing; A idles
 
             b = runs[best_b]
@@ -297,7 +372,7 @@ class AdaptiveDispatch:
                         "round": rounds,
                         "thief": a.disk_id,
                         "victim": b.disk_id,
-                        "eligible": len(best_elig),
+                        "eligible": best_cnt,
                     },
                 )
             done, remaining = b.pending_at(t_cancel)
@@ -326,11 +401,12 @@ class AdaptiveDispatch:
 
             # Remove the stale arrivals B would have produced for its
             # cancelled tail (and its kept blocks, which get re-timed).
+            # One filtering pass drops every match — the same set the
+            # seed's repeated ``list.remove`` deleted, without the O(n²).
             cancelled = set(remaining)
-            stale = [(t, x) for (t, x) in arrivals if x in cancelled]
-            for item in stale:
-                arrivals.remove(item)
-            blocks_fetched -= len(stale)
+            n_before = len(arrivals)
+            arrivals[:] = [item for item in arrivals if item[1] not in cancelled]
+            blocks_fetched -= n_before - len(arrivals)
 
             # The block B is transferring when the cancel lands: if stolen,
             # only its unfetched fraction moves (plain-text replicas can be
@@ -364,18 +440,33 @@ class AdaptiveDispatch:
         # Completion: feed arrivals to the composition's tracker in order.
         arrivals.sort()
         tracker = completion.tracker(scheme, record, plan)
-        observe = getattr(tracker, "observe", None)
-        t_fill = float("inf")
-        consumed = 0
-        for t, bid in arrivals:
-            consumed += 1
-            if observe is not None:
-                observe(float(t), int(bid))
-            else:
-                tracker.add(int(bid))
-            if tracker.complete:
-                t_fill = float(t)
-                break
+        # Class-level lookup on purpose: recording/tracing proxies that
+        # forward attribute access to an inner tracker must keep the scalar
+        # loop, or their observe() hook would be silently bypassed.
+        consume = getattr(type(tracker), "consume_arrivals", None)
+        if consume is not None and arrivals:
+            # Batched fast path (AllBlocks/Coverage trackers): same
+            # (t_fill, consumed) as the scalar loop, proven element-for-
+            # element by tests/test_trackers_batch.py.
+            t_arr, b_arr = zip(*arrivals)
+            t_fill, consumed = consume(
+                tracker,
+                np.array(t_arr, dtype=np.float64),
+                np.array(b_arr, dtype=np.int64),
+            )
+        else:
+            observe = getattr(tracker, "observe", None)
+            t_fill = float("inf")
+            consumed = 0
+            for t, bid in arrivals:
+                consumed += 1
+                if observe is not None:
+                    observe(float(t), int(bid))
+                else:
+                    tracker.add(int(bid))
+                if tracker.complete:
+                    t_fill = float(t)
+                    break
         t_done, _ = completion.finish(scheme, tracker, t_fill)
 
         # Fetched blocks cross the network once; block fractions delivered

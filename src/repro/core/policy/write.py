@@ -139,11 +139,14 @@ class SpeculativeRatelessWrite:
         completions: list[np.ndarray] = []
         one_ways: list[float] = []
         acks: list[np.ndarray] = []
+        phase_rng_for = getattr(rng_for, "phase_rng_for", None)
         for idx, disk_id in enumerate(disks):
             disk_id = int(disk_id)
             filer = scheme.cluster.filer_of_disk(disk_id)
             one_way = filer.link.one_way_s
-            svc = scheme.cluster.block_service(disk_id, rng_for(disk_id))
+            svc = scheme.cluster.block_service(
+                disk_id, rng_for(disk_id), phase_rng_for=phase_rng_for
+            )
             t_arrive = request_arrival_time(scheme.cluster, disk_id, t0, one_way)
             c = svc.serve(per_disk_cap, cfg.block_bytes, t_arrive)
             completions.append(c)

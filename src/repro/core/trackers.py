@@ -46,6 +46,40 @@ class TrackerBase:
         raise NotImplementedError
 
 
+def _consume_batch(
+    tracker, originals: np.ndarray, times: np.ndarray
+) -> tuple[float, int]:
+    """Vectorised equivalent of feeding ``originals`` one at a time.
+
+    ``originals`` maps each arrival to the original-block slot it covers
+    (identity for :class:`AllBlocksTracker`, ``id % k`` for
+    :class:`CoverageTracker`).  Finds the arrival at which the tracker's
+    distinct-slot count reaches ``k``, updates ``_have``/``_count`` to
+    exactly the state the scalar loop would leave (the loop stops at the
+    completing arrival), and returns ``(t_fill, consumed)`` —
+    ``(inf, len)`` when the batch never completes.
+    """
+    need = tracker.k - tracker._count
+    if need <= 0:
+        # Already complete before this batch.  The scalar loop still
+        # consumes (and reports completion at) the first arrival — a
+        # no-op for state, since every slot is already held.
+        if originals.size == 0:
+            return float("inf"), 0
+        return float(times[0]), 1
+    uniq, first = np.unique(originals, return_index=True)
+    fresh = first[~tracker._have[uniq]]
+    if fresh.size < need:
+        tracker._have[uniq] = True
+        tracker._count += int(fresh.size)
+        return float("inf"), int(originals.size)
+    # The need-th new slot (in arrival order) completes the access.
+    stop = int(np.partition(fresh, need - 1)[need - 1])
+    tracker._have[originals[: stop + 1]] = True
+    tracker._count = tracker.k
+    return float(times[stop]), stop + 1
+
+
 class AllBlocksTracker(TrackerBase):
     """RAID-0: every distinct block must arrive."""
 
@@ -58,6 +92,10 @@ class AllBlocksTracker(TrackerBase):
         if not self._have[block_id]:
             self._have[block_id] = True
             self._count += 1
+
+    def consume_arrivals(self, times: np.ndarray, ids: np.ndarray) -> tuple[float, int]:
+        """Batched arrival consumption; see :func:`_consume_batch`."""
+        return _consume_batch(self, ids, times)
 
     @property
     def complete(self) -> bool:
@@ -78,6 +116,10 @@ class CoverageTracker(TrackerBase):
             self._have[orig] = True
             self._count += 1
 
+    def consume_arrivals(self, times: np.ndarray, ids: np.ndarray) -> tuple[float, int]:
+        """Batched arrival consumption; see :func:`_consume_batch`."""
+        return _consume_batch(self, ids % self.k, times)
+
     @property
     def complete(self) -> bool:
         return self._count >= self.k
@@ -91,6 +133,22 @@ class DecoderTracker(TrackerBase):
 
     def add(self, block_id: int) -> None:
         self.decoder.add(block_id)
+
+    def consume_arrivals(self, times: np.ndarray, ids: np.ndarray) -> tuple[float, int]:
+        """Batched arrival consumption: the scalar loop, fused in-tracker.
+
+        The decoder does identical work either way; fusing skips one
+        observe/complete dispatch pair per arrival and iterates native
+        ints instead of numpy scalars.  Same ``(t_fill, consumed)``
+        contract as :func:`_consume_batch`.
+        """
+        decoder = self.decoder
+        add = decoder.add
+        for consumed, bid in enumerate(ids.tolist(), start=1):
+            add(bid)
+            if decoder.is_complete:
+                return float(times[consumed - 1]), consumed
+        return float("inf"), int(ids.size)
 
     @property
     def complete(self) -> bool:

@@ -8,6 +8,7 @@ sequential-access probability 0/1, mean ~15 MB/s).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -73,6 +74,11 @@ class DiskMechanics:
     ) -> None:
         self.spec = spec or DriveSpec()
         self.geometry = geometry or default_geometry()
+        self._mean_pos: float | None = None
+        # (sectors, spt) -> transfer time.  Deterministic in the spec, and
+        # the per-access service models re-derive it for the same handful
+        # of block-size/zone combinations all sweep long.
+        self._xfer_cache: dict[tuple[int, int], float] = {}
 
     # -- seek ------------------------------------------------------------
     def seek_time(self, distance) -> np.ndarray:
@@ -83,19 +89,52 @@ class DiskMechanics:
         return np.where(d <= 0, 0.0, t)
 
     def sample_local_seek(self, rng: np.random.Generator, n: int = 1) -> np.ndarray:
-        """Seek times for random moves within a file's local extent."""
-        d = rng.integers(1, self.spec.locality_span_cylinders + 1, size=n)
-        return self.seek_time(d)
+        """Seek times for random moves within a file's local extent.
+
+        Inlines :meth:`seek_time` without its ``d <= 0`` guard — the draw
+        is always >= 1 cylinder, so the values are identical.
+        """
+        s = self.spec
+        if n == 1:
+            # Scalar fast path (fully-sequential streams position exactly
+            # once per access): a scalar bounded draw consumes the bit
+            # stream identically to size=1, math.sqrt is the same
+            # correctly-rounded float64 sqrt, and the expression keeps the
+            # array path's operand order, so the value is bit-identical.
+            d = float(rng.integers(1, s.locality_span_cylinders + 1))
+            return np.array([s.seek_base_s + s.seek_sqrt_s * math.sqrt(d) + s.seek_linear_s * d])
+        d = rng.integers(1, s.locality_span_cylinders + 1, size=n)
+        # In-place over the sqrt temporary; float addition is commutative
+        # bit-for-bit, so the regrouping is exact.
+        t = np.sqrt(d)
+        t *= s.seek_sqrt_s
+        t += s.seek_base_s
+        t += s.seek_linear_s * d
+        return t
 
     def sample_rotational_latency(self, rng: np.random.Generator, n: int = 1) -> np.ndarray:
         """Uniform(0, one revolution) rotational delays."""
-        return rng.random(n) * self.spec.rotation_period_s
+        if n == 1:
+            # Scalar draw == size-1 draw, bit for bit (one next_double).
+            return np.array([rng.random() * self.spec.rotation_period_s])
+        t = rng.random(n)
+        t *= self.spec.rotation_period_s
+        return t
 
     def mean_positioning_time(self) -> float:
-        """Expected seek + rotational latency for a local random access."""
-        span = self.spec.locality_span_cylinders
-        d = np.arange(1, span + 1, dtype=np.float64)
-        return float(self.seek_time(d).mean() + self.spec.avg_rotational_latency_s)
+        """Expected seek + rotational latency for a local random access.
+
+        Deterministic in the spec, so computed once — callers hit this on
+        every background-interleaved queue, and the exact mean folds a
+        ``locality_span``-element seek curve.
+        """
+        if self._mean_pos is None:
+            span = self.spec.locality_span_cylinders
+            d = np.arange(1, span + 1, dtype=np.float64)
+            self._mean_pos = float(
+                self.seek_time(d).mean() + self.spec.avg_rotational_latency_s
+            )
+        return self._mean_pos
 
     # -- transfer ----------------------------------------------------------
     def media_rate_bps(self, sectors_per_track) -> np.ndarray:
@@ -105,7 +144,23 @@ class DiskMechanics:
 
     def transfer_time(self, sectors, sectors_per_track) -> np.ndarray:
         """Pure media transfer time for ``sectors`` at the given format,
-        including track-switch charges for crossed boundaries."""
+        including track-switch charges for crossed boundaries.
+
+        Scalar int calls (the per-access service models) are memoised;
+        the cached value is the float64 scalar the array arithmetic
+        produces, so both paths agree bit-for-bit.
+        """
+        if type(sectors) is int and type(sectors_per_track) is int:
+            key = (sectors, sectors_per_track)
+            t = self._xfer_cache.get(key)
+            if t is None:
+                t = self._xfer_cache[key] = float(
+                    self._transfer_time_arr(sectors, sectors_per_track)
+                )
+            return t
+        return self._transfer_time_arr(sectors, sectors_per_track)
+
+    def _transfer_time_arr(self, sectors, sectors_per_track) -> np.ndarray:
         sectors = np.asarray(sectors, dtype=np.float64)
         spt = np.asarray(sectors_per_track, dtype=np.float64)
         xfer = sectors * SECTOR_BYTES / self.media_rate_bps(spt)

@@ -94,6 +94,12 @@ class BlockService:
         (slowdowns stretch them, outages push them past the recovery, a
         permanent fail-stop maps unfinished work to ``inf``).  ``None``
         keeps the arithmetic bit-identical to an unfaulted run.
+    phase_rng:
+        Dedicated stream for the background stream's initial phase draw
+        (the ``"bgphase"`` :data:`repro.sim.rng.STREAMS` entry).  ``None``
+        falls back to drawing the phase from ``rng`` — the historical
+        behaviour, which silently interleaved one extra draw into the
+        service stream and was invisible to the SIM011 stream discipline.
     """
 
     def __init__(
@@ -105,6 +111,7 @@ class BlockService:
         background: BackgroundLoad | None = None,
         failed: bool = False,
         timeline=None,
+        phase_rng: np.random.Generator | None = None,
     ) -> None:
         self.mechanics = mechanics
         self.layout = layout
@@ -113,6 +120,13 @@ class BlockService:
         self.background = background
         self.failed = failed
         self.timeline = timeline
+        self.phase_rng = phase_rng
+        # Deterministic per-block-size constants (sectors, requests,
+        # transfer time) and the background interleave parameters: both
+        # are pure functions of layout/zone/spec, cached so the adaptive
+        # engine's repeated per-batch calls skip the recomputation.
+        self._block_params_cache: dict[int, tuple[int, int, float]] = {}
+        self._bg_plan: tuple[float, float, float] | None = None
 
     # -- nominal block service ------------------------------------------------
     def block_service_times(self, n_blocks: int, block_bytes: int) -> np.ndarray:
@@ -121,9 +135,7 @@ class BlockService:
             return np.empty(0, dtype=np.float64)
         mech = self.mechanics
         spec = mech.spec
-        sectors = max(1, block_bytes // SECTOR_BYTES)
-        bf = self.layout.blocking_factor
-        n_req = -(-sectors // bf)
+        sectors, n_req, xfer = self._block_params(block_bytes)
 
         # Positioning events per block: each request positions with
         # probability (1 - p_seq); a fully sequential stream flows across
@@ -143,19 +155,32 @@ class BlockService:
         else:
             total_pos = np.zeros(n_blocks, dtype=np.float64)
 
-        xfer = float(mech.transfer_time(sectors, self.spt))
-        return n_req * spec.controller_overhead_s + total_pos + xfer
+        # In-place over the bincount result; float addition is commutative
+        # bit-for-bit, so this equals ``overhead + total_pos + xfer``.
+        total_pos += n_req * spec.controller_overhead_s
+        total_pos += xfer
+        return total_pos
 
     def standalone_bandwidth(self, block_bytes: int = 1 << 20, n_blocks: int = 256) -> float:
         """Monte-Carlo mean bandwidth (bytes/s) without background load."""
         t = self.block_service_times(n_blocks, block_bytes)
         return n_blocks * block_bytes / float(t.sum())
 
+    def _block_params(self, block_bytes: int) -> tuple[int, int, float]:
+        """Cached ``(sectors, requests, transfer_time)`` for a block size."""
+        params = self._block_params_cache.get(block_bytes)
+        if params is None:
+            sectors = max(1, block_bytes // SECTOR_BYTES)
+            n_req = -(-sectors // self.layout.blocking_factor)
+            xfer = float(self.mechanics.transfer_time(sectors, self.spt))
+            params = (sectors, n_req, xfer)
+            self._block_params_cache[block_bytes] = params
+        return params
+
     # -- queue completion times --------------------------------------------------
     def requests_per_block(self, block_bytes: int) -> int:
         """Physical requests per data block at this disk's blocking factor."""
-        sectors = max(1, block_bytes // SECTOR_BYTES)
-        return -(-sectors // self.layout.blocking_factor)
+        return self._block_params(block_bytes)[1]
 
     #: Minimum service share the drive's scheduler guarantees the
     #: foreground stream: an over-saturating background queue backs up
@@ -182,20 +207,27 @@ class BlockService:
         if self.failed:
             # A failed disk never responds — its blocks are erasures.
             return np.full(services.size, np.inf)
-        s_cum = start + np.cumsum(services)
+        s_cum = services.cumsum()
+        s_cum += start
         bg = self.background
         if bg is None or services.size == 0:
             return self._warp(s_cum, start)
 
         # Repositioning penalty per interruption: only a sequential
-        # foreground stream loses positioning work to interleaving.
-        pen = self.layout.p_sequential * self.mechanics.mean_positioning_time()
-        per_bg = bg.mean_service(self.mechanics, self.spt) + pen
-        # Effective admission interval: the drive serves background no
-        # faster than the fairness floor allows.
-        interval = max(bg.interval_s, per_bg / (1.0 - self.MIN_FOREGROUND_SHARE))
+        # foreground stream loses positioning work to interleaving.  The
+        # (pen, per_bg, interval) triple is deterministic per instance.
+        plan = self._bg_plan
+        if plan is None:
+            pen = self.layout.p_sequential * self.mechanics.mean_positioning_time()
+            per_bg = bg.mean_service(self.mechanics, self.spt) + pen
+            # Effective admission interval: the drive serves background no
+            # faster than the fairness floor allows.
+            interval = max(bg.interval_s, per_bg / (1.0 - self.MIN_FOREGROUND_SHARE))
+            plan = self._bg_plan = (pen, per_bg, interval)
+        pen, per_bg, interval = plan
         eff_util = per_bg / interval
-        phase = start + self.rng.random() * interval
+        phase_rng = self.phase_rng if self.phase_rng is not None else self.rng
+        phase = start + phase_rng.random() * interval
 
         # Draw enough background services up front; extend if needed.
         horizon = float(s_cum[-1] - start) / max(1e-3, 1.0 - eff_util)

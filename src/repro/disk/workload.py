@@ -50,11 +50,34 @@ class InDiskLayout:
             raise ValueError("p_sequential must be in [0, 1]")
 
 
+#: The 16 possible heterogeneous layouts, keyed by their two draw indices.
+#: :class:`InDiskLayout` is frozen, so sharing instances is safe, and the
+#: memo spares a dataclass construction + validation per disk per trial.
+_LAYOUTS = {
+    (i, j): InDiskLayout(bf, float(j))
+    for i, bf in enumerate(BLOCKING_FACTORS)
+    for j in (0, 1)
+}
+
+
+def layout_at(bf_index: int, seq_index: int) -> InDiskLayout:
+    """The memoised layout for the two draw indices.
+
+    Used by batched redraws that pull many ``(bf, seq)`` index pairs from
+    one broadcast ``rng.integers`` call and map them here.
+    """
+    return _LAYOUTS[bf_index, seq_index]
+
+
 def draw_layout(rng: np.random.Generator) -> InDiskLayout:
-    """Draw a heterogeneous-layout configuration (§6.2.5)."""
-    bf = int(rng.choice(BLOCKING_FACTORS))
-    seq = float(rng.integers(0, 2))
-    return InDiskLayout(bf, seq)
+    """Draw a heterogeneous-layout configuration (§6.2.5).
+
+    ``BLOCKING_FACTORS[rng.integers(0, 8)]`` consumes the exact bit
+    stream ``rng.choice(BLOCKING_FACTORS)`` does (choice defers to the
+    same bounded-integer draw), so this stays bit-identical to the seed
+    while skipping choice's per-call array setup.
+    """
+    return _LAYOUTS[int(rng.integers(0, 8)), int(rng.integers(0, 2))]
 
 
 def homogeneous_layout(

@@ -20,6 +20,7 @@ Example
 [5.0]
 """
 
+from repro.sim.calendar import EventCalendar
 from repro.sim.core import Environment, Interrupt, SimulationError
 from repro.sim.events import AllOf, AnyOf, Event, Process, Timeout
 from repro.sim.resources import PriorityResource, Resource, Store
@@ -29,6 +30,7 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "Environment",
+    "EventCalendar",
     "Event",
     "Interrupt",
     "PriorityResource",

@@ -2,13 +2,13 @@
 
 from __future__ import annotations
 
-import heapq
 import math
 import os
-from itertools import count
+from heapq import heappop, heappush
 from typing import Any, Generator, Optional
 
 from repro.obs.tracer import NULL_TRACER
+from repro.sim.calendar import EventCalendar
 from repro.sim.events import PENDING, AllOf, AnyOf, Event, Process, Timeout
 
 # Scheduling priorities: URGENT events (process initialisation, interrupts)
@@ -60,6 +60,13 @@ class Environment:
         process.  Violations raise :class:`SimulationError` naming the
         active process and the timeline position.  ``None`` (default)
         reads the ``REPRO_SANITIZE`` environment variable.
+    calendar:
+        Pending-event structure.  Defaults to a fresh
+        :class:`repro.sim.calendar.EventCalendar`; any object with the
+        same ``push``/``pop``/``peek_time`` protocol is accepted (the
+        differential tests inject
+        :class:`repro.sim._calendar_ref.ReferenceCalendar` here to prove
+        the kernel's dispatch order is implementation-independent).
     """
 
     def __init__(
@@ -67,10 +74,20 @@ class Environment:
         initial_time: float = 0.0,
         tracer=None,
         sanitize: Optional[bool] = None,
+        calendar=None,
     ) -> None:
         self._now = float(initial_time)
-        self._queue: list[tuple[float, int, int, Event]] = []
-        self._eid = count()
+        self._calendar = calendar if calendar is not None else EventCalendar()
+        # Inline fast path: with the stock calendar the kernel pushes and
+        # pops on its heap directly, saving a Python call per event.  Any
+        # other calendar (e.g. the differential-test reference) goes
+        # through the push/pop protocol.
+        if type(self._calendar) is EventCalendar:
+            self._heap = self._calendar._heap
+            self._eid = self._calendar._eid
+        else:
+            self._heap = None
+            self._eid = None
         self._active_proc: Optional[Process] = None
         self.tracer = tracer if tracer is not None else NULL_TRACER
         if sanitize is None:
@@ -156,7 +173,13 @@ class Environment:
             )
         if self._inflight is not None:
             self._sanitize_schedule(event)
-        heapq.heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+        heap = self._heap
+        if heap is not None:
+            # Inline EventCalendar.push — see the layout note in
+            # repro.sim.calendar.
+            heappush(heap, [self._now + delay, priority, next(self._eid), event])
+        else:
+            self._calendar.push(self._now + delay, priority, event)
         if self._inflight is not None:
             self._inflight.add(id(event))
 
@@ -174,7 +197,7 @@ class Environment:
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none remain."""
-        return self._queue[0][0] if self._queue else float("inf")
+        return self._calendar.peek_time()
 
     def step(self) -> None:
         """Process the next scheduled event.
@@ -184,10 +207,25 @@ class Environment:
         EmptySchedule
             If no events remain.
         """
-        try:
-            t, _, _, event = heapq.heappop(self._queue)
-        except IndexError:
-            raise EmptySchedule() from None
+        heap = self._heap
+        if heap is not None:
+            # Inline EventCalendar.pop: drop tombstoned entries, take the
+            # first live one.
+            while True:
+                if not heap:
+                    raise EmptySchedule()
+                entry = heappop(heap)
+                event = entry[3]
+                if event is not None:
+                    break
+                self._calendar._dead -= 1
+            entry[3] = None
+            t = entry[0]
+        else:
+            try:
+                t, _, _, event = self._calendar.pop()
+            except IndexError:
+                raise EmptySchedule() from None
         if self._inflight is not None:
             self._inflight.discard(id(event))
             if t < self._now:

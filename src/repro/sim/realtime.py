@@ -54,7 +54,7 @@ class ThrottledEnvironment(Environment):
         self.total_slept_s = 0.0
 
     def step(self) -> None:
-        if self.speedup != float("inf") and self._queue:
+        if self.speedup != float("inf") and self._calendar:
             if self._wall_start is None:
                 self._wall_start = self._clock()
             next_t = self.peek()

@@ -21,6 +21,10 @@ def _fnv32(data: bytes, h: int = 2166136261) -> int:
     return h
 
 
+#: Process-wide memo of string -> FNV-1a fold (see :meth:`RngHub._derive`).
+_STR_ENTROPY: dict[str, int] = {}
+
+
 def _fold_parts(parts, h: int) -> int:
     """Fold ``parts`` (stable_seed's accepted types) into one 32-bit word."""
     for part in parts:
@@ -85,6 +89,7 @@ STREAMS = {
     "faults": 3,          #: MTTF/MTTR fault-storm draws (harness)
     "select": 3,          #: scheme disk selection (core.base)
     "svc": (3, 5),        #: per-disk service draws (serve replay / core.base)
+    "bgphase": 5,         #: background-stream initial phase draws (core.base)
     "cal-env": 3,         #: serving calibration environments
     "repair-extend": 3,   #: repair-time redundancy extension draws
     "serve": 2,           #: workload generation + service facade
@@ -140,13 +145,20 @@ class RngHub:
         return np.random.Generator(np.random.PCG64(self._derive(key)))
 
     def _derive(self, key: tuple) -> np.random.SeedSequence:
-        # Map arbitrary hashable keys onto stable integer entropy.
+        # Map arbitrary hashable keys onto stable integer entropy.  String
+        # parts (stream names, scheme names, phases) recur on every call,
+        # so their FNV folds are memoised process-wide.
         words = [self.seed]
+        append = words.append
         for part in key:
             if isinstance(part, (int, np.integer)):
-                words.append(int(part) & 0xFFFFFFFF)
+                append(int(part) & 0xFFFFFFFF)
             else:
-                words.append(_fnv32(str(part).encode()))
+                s = str(part)
+                w = _STR_ENTROPY.get(s)
+                if w is None:
+                    w = _STR_ENTROPY[s] = _fnv32(s.encode())
+                append(w)
         return np.random.SeedSequence(words)
 
     def spawn(self, *key) -> "RngHub":
