@@ -1,0 +1,32 @@
+"""The access-core: one set of access semantics, two engine wrappers.
+
+This package is the single home of the §4.1.2/§6.2.2 access timeline —
+metadata open, per-disk request routing through the link/fault timelines,
+block service, arrival-ordered tracker consumption, cancel accounting and
+decode-tail charging.  Two engines *wrap* it without duplicating it:
+
+* the **closed-form engine** (the :mod:`repro.core.policy` dispatchers)
+  evaluates the core's timeline vectorised — :func:`timeline.serve_read_queues`
+  builds per-disk :class:`timeline.DiskStream` objects in one shot and
+  :func:`timeline.read_epilogue` settles completion, cancel accounting,
+  tracing and repair annotation;
+* the **event-driven engine** (:mod:`repro.accesscore.events`, surfaced as
+  :mod:`repro.core.reference`) runs the same objects as discrete-event
+  processes on the :mod:`repro.sim` kernel and hands its per-disk streams
+  to the *same* epilogue.
+
+Single wiring sites (the unification contract):
+
+* link/fault routing — :mod:`repro.accesscore.routing`
+  (``request_arrival_time`` / ``response_arrival_times``), plus
+  :func:`events.attach_faults` for the one DES fault-pump attachment;
+* scheme-level read tracing — :mod:`repro.accesscore.tracing` via
+  :func:`timeline.read_epilogue`;
+* repair triggering — :func:`repro.accesscore.repair.annotate_repair`.
+
+Layering rule: ``accesscore`` never imports :mod:`repro.core` — policy
+objects (completion/reaction/write singletons) are passed in and duck-typed,
+which is what lets both engines share one epilogue without an import cycle.
+The legacy import paths ``repro.core.access`` and ``repro.core.trackers``
+remain as re-export shims.
+"""

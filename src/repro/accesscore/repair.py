@@ -1,0 +1,44 @@
+"""Repair triggering — the access-core's single wiring site.
+
+A read that observes degraded redundancy flags the file for background
+rebuild (§5.2.2): when permanent fail-stops push the file's surviving
+redundancy below a floor fraction of the configured degree, the result's
+extras carry ``repair_triggered`` and the tracer counts the event.
+Both engines settle reads through :func:`annotate_repair` (via the
+reaction policy's ``annotate`` hook), so the trigger rule and its trace
+events exist exactly once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.faults.inject import surviving_blocks
+
+
+def annotate_repair(scheme, record, extra, t_done, t0, floor: float):
+    """Annotate ``extra`` with surviving redundancy and the repair flag.
+
+    ``floor`` is the triggering fraction (the reaction policy resolves the
+    per-scheme override before calling).  No-op without a fault injector —
+    fault-free runs never pay for the survival scan.
+    """
+    injector = scheme.cluster.faults
+    if injector is None:
+        return None
+    cfg = scheme.config
+    surviving = surviving_blocks(injector, record)
+    surv_red = surviving / cfg.k - 1.0
+    extra["surviving_redundancy"] = surv_red
+    extra["repair_triggered"] = bool(surv_red < floor * cfg.redundancy)
+    tracer = scheme.tracer
+    if extra["repair_triggered"] and tracer.enabled:
+        tracer.count("scheme.repairs_triggered")
+        tracer.instant(
+            "scheme.repair_trigger",
+            "scheme",
+            t_done if np.isfinite(t_done) else t0,
+            track="scheme",
+            args={"surviving_redundancy": surv_red},
+        )
+    return None

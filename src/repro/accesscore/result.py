@@ -1,0 +1,147 @@
+"""Access configuration and result types shared by every engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.accesscore.routing import MB
+
+
+@dataclass(frozen=True)
+class AccessConfig:
+    """Parameters of one storage access (the §6.2.5 baseline by default).
+
+    Attributes
+    ----------
+    data_bytes:
+        Original data size (1 GB baseline).
+    block_bytes:
+        Coding/striping block size (1 MB baseline).
+    n_disks:
+        Disks used by the access (64 baseline).
+    redundancy:
+        Degree of data redundancy D = N/K - 1 (3.0 baseline; RAID-0 always
+        runs at 0).
+    lt_c, lt_delta:
+        LT code parameters (C = 1.0, delta = 0.5 per §6.2.5).
+    """
+
+    data_bytes: int = 1024 * MB
+    block_bytes: int = 1 * MB
+    n_disks: int = 64
+    redundancy: float = 3.0
+    lt_c: float = 1.0
+    lt_delta: float = 0.5
+    #: Client NIC rate; ``inf`` is the paper's plentiful-lambda assumption.
+    #: Finite values model the Collins & Plank slow-shared-WAN regime
+    #: (§2.3): arrivals serialise through the client's access link.
+    client_bandwidth_bps: float = float("inf")
+
+    @property
+    def k(self) -> int:
+        """Number of original blocks."""
+        return max(1, self.data_bytes // self.block_bytes)
+
+    @property
+    def n_coded(self) -> int:
+        """Coded blocks at the configured redundancy."""
+        return max(self.k, int(round((1.0 + self.redundancy) * self.k)))
+
+    @property
+    def replicas(self) -> int:
+        """Copies per block for the replication schemes (D + 1)."""
+        return int(round(self.redundancy)) + 1
+
+
+def _jsonable(value):
+    """Canonical JSON form: numpy scalars/arrays -> python, dict keys -> str.
+
+    The mapping is idempotent (``_jsonable(_jsonable(x)) == _jsonable(x)``),
+    which is what makes :meth:`AccessResult.to_jsonable` a fixed point under
+    JSON round-trips: floats survive exactly (including ``inf``/``nan``),
+    and every container lands in the one shape ``json.loads`` produces.
+    """
+    if type(value) in (int, float, str, bool, type(None)):
+        # Exact-type fast path: the overwhelming share of values are
+        # already-plain scalars (numpy subclasses fall through to the
+        # isinstance chain below).
+        return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [_jsonable(v) for v in value.tolist()]
+    return value
+
+
+#: AccessResult fields serialised by :meth:`AccessResult.to_jsonable`, in
+#: canonical order.  Kept explicit (rather than introspected) so a new
+#: field is a conscious codec decision — cache entries and cross-process
+#: payloads depend on this shape.
+_RESULT_FIELDS = (
+    "latency_s",
+    "data_bytes",
+    "network_bytes",
+    "disk_blocks",
+    "blocks_received",
+    "cache_hits",
+    "rounds",
+    "extra",
+)
+
+
+@dataclass
+class AccessResult:
+    """Metrics of one access (§6.2.3)."""
+
+    latency_s: float
+    data_bytes: int
+    network_bytes: int
+    disk_blocks: int
+    blocks_received: int
+    cache_hits: int = 0
+    rounds: int = 1
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def bandwidth_bps(self) -> float:
+        """Delivered bandwidth: original data size / access latency."""
+        return self.data_bytes / self.latency_s if self.latency_s > 0 else 0.0
+
+    @property
+    def bandwidth_mbps(self) -> float:
+        return self.bandwidth_bps / MB
+
+    @property
+    def io_overhead(self) -> float:
+        """(bytes sent over networks - data size) / data size (§6.2.3)."""
+        return (self.network_bytes - self.data_bytes) / self.data_bytes
+
+    def to_jsonable(self) -> dict:
+        """Lossless JSON form of this result.
+
+        Numeric fields survive a JSON round-trip exactly (Python prints
+        shortest-round-trip floats; ``inf`` travels as ``Infinity``);
+        ``extra`` is canonicalised (numpy scalars to python scalars, dict
+        keys to strings), so re-encoding a decoded result is byte-stable —
+        the bit-identity contract :mod:`repro.exec` checks across process
+        boundaries rests on this.
+        """
+        return {name: _jsonable(getattr(self, name)) for name in _RESULT_FIELDS}
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "AccessResult":
+        """Rebuild a result from :meth:`to_jsonable` output."""
+        unknown = set(data) - set(_RESULT_FIELDS)
+        if unknown:
+            raise ValueError(f"unknown AccessResult fields: {sorted(unknown)}")
+        return cls(**{name: data[name] for name in _RESULT_FIELDS if name in data})

@@ -1,0 +1,49 @@
+"""Request/response routing and fixed access costs — one wiring site.
+
+Every message an access sends — the open, the per-disk request, the block
+payloads, the cancel — crosses the network through these helpers, which
+route through the link's fault timeline when one is active.  Both engines
+(closed-form and event-driven) call the same two functions, so link
+degradation and filer-crash blackouts are wired into the simulator exactly
+once.
+"""
+
+from __future__ import annotations
+
+MB = 1 << 20
+
+#: LT decode bandwidth used to charge the decode tail (§6.2.5: "we use
+#: [500 MBps] to compute decode times").
+DECODE_BANDWIDTH_BPS = 500e6
+
+
+def request_arrival_time(cluster, disk_id: int, t_send: float, one_way_s: float) -> float:
+    """When a request sent at ``t_send`` reaches the disk's filer.
+
+    Routes through the link's fault timeline when one is active (added
+    latency inside a degradation window, deferral across a filer-crash
+    blackout); otherwise the plain one-way hop — same arithmetic, so
+    unfaulted runs stay bit-identical.
+    """
+    lt = cluster.link_timeline(disk_id)
+    if lt is None:
+        return t_send + one_way_s
+    return lt.request_arrival(t_send, one_way_s)
+
+
+def response_arrival_times(cluster, disk_id: int, ready, one_way_s: float):
+    """Client arrival time(s) for payload(s) ready at the filer at ``ready``."""
+    lt = cluster.link_timeline(disk_id)
+    if lt is None:
+        return ready + one_way_s
+    return lt.response_arrivals(ready, one_way_s)
+
+
+def decode_tail_s(block_bytes: int) -> float:
+    """Latency charged for decoding the final block (§6.2.5)."""
+    return block_bytes / DECODE_BANDWIDTH_BPS
+
+
+def open_latency_s(metadata) -> float:
+    """Metadata + connection setup cost at access start."""
+    return metadata.latency_s if metadata is not None else 0.005

@@ -1,566 +1,50 @@
-"""Shared access machinery for all four storage schemes.
+"""Compatibility facade over :mod:`repro.accesscore`.
 
-Implements the speculative-access timeline of §4.1.2/§6.2.2:
+The shared access engine — request/response routing, the per-disk serve
+timeline, tracker consumption, cancel accounting, tracing, the uniform
+write — lives in the :mod:`repro.accesscore` package, where both the
+closed-form and the event-driven engines wrap it.  This module keeps the
+original import path alive: everything it ever exported is re-exported
+here unchanged, so downstream code and the published examples keep
+working without edits.
 
-1. open: metadata access (constant 5 ms);
-2. one request message per disk (one-way link latency);
-3. each disk serves its stored blocks in order (filesystem-cache hits are
-   served by the filer immediately); background workloads interleave;
-4. block payloads travel back (one-way latency, plentiful bandwidth);
-5. the client consumes arrivals in order until the scheme's completion
-   tracker is satisfied (all blocks / replica coverage / LT decode);
-6. a cancel message (one-way latency) stops still-queued blocks; blocks
-   already served or in flight count toward the I/O-overhead metric.
+New code should import from :mod:`repro.accesscore` directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
-
-import numpy as np
-
-from repro.cluster.metadata import MetadataServer
-from repro.cluster.server import Cluster
-from repro.core.trackers import (  # noqa: F401  (re-exported: original import path)
+from repro.accesscore.result import (  # noqa: F401
+    _RESULT_FIELDS,
+    AccessConfig,
+    AccessResult,
+    _jsonable,
+)
+from repro.accesscore.routing import (  # noqa: F401
+    DECODE_BANDWIDTH_BPS,
+    MB,
+    decode_tail_s,
+    open_latency_s,
+    request_arrival_time,
+    response_arrival_times,
+)
+from repro.accesscore.timeline import (  # noqa: F401
+    DiskStream,
+    completion_time,
+    completion_with_order,
+    consume_sorted_arrivals,
+    finalize_read,
+    merged_arrival_order,
+    serve_read_queues,
+    simulate_uniform_write,
+)
+from repro.accesscore.tracing import (  # noqa: F401
+    _COUNTER_SAMPLES,
+    _sample_indices,
+    trace_read_access,
+)
+from repro.accesscore.trackers import (  # noqa: F401
     AllBlocksTracker,
     CompletionTracker,
     CoverageTracker,
     DecoderTracker,
 )
-from repro.disk.service import served_before
-
-MB = 1 << 20
-
-#: LT decode bandwidth used to charge the decode tail (§6.2.5: "we use
-#: [500 MBps] to compute decode times").
-DECODE_BANDWIDTH_BPS = 500e6
-
-
-def request_arrival_time(
-    cluster: "Cluster", disk_id: int, t_send: float, one_way_s: float
-) -> float:
-    """When a request sent at ``t_send`` reaches the disk's filer.
-
-    Routes through the link's fault timeline when one is active (added
-    latency inside a degradation window, deferral across a filer-crash
-    blackout); otherwise the plain one-way hop — same arithmetic, so
-    unfaulted runs stay bit-identical.
-    """
-    lt = cluster.link_timeline(disk_id)
-    if lt is None:
-        return t_send + one_way_s
-    return lt.request_arrival(t_send, one_way_s)
-
-
-def response_arrival_times(cluster: "Cluster", disk_id: int, ready, one_way_s: float):
-    """Client arrival time(s) for payload(s) ready at the filer at ``ready``."""
-    lt = cluster.link_timeline(disk_id)
-    if lt is None:
-        return ready + one_way_s
-    return lt.response_arrivals(ready, one_way_s)
-
-
-@dataclass(frozen=True)
-class AccessConfig:
-    """Parameters of one storage access (the §6.2.5 baseline by default).
-
-    Attributes
-    ----------
-    data_bytes:
-        Original data size (1 GB baseline).
-    block_bytes:
-        Coding/striping block size (1 MB baseline).
-    n_disks:
-        Disks used by the access (64 baseline).
-    redundancy:
-        Degree of data redundancy D = N/K - 1 (3.0 baseline; RAID-0 always
-        runs at 0).
-    lt_c, lt_delta:
-        LT code parameters (C = 1.0, delta = 0.5 per §6.2.5).
-    """
-
-    data_bytes: int = 1024 * MB
-    block_bytes: int = 1 * MB
-    n_disks: int = 64
-    redundancy: float = 3.0
-    lt_c: float = 1.0
-    lt_delta: float = 0.5
-    #: Client NIC rate; ``inf`` is the paper's plentiful-lambda assumption.
-    #: Finite values model the Collins & Plank slow-shared-WAN regime
-    #: (§2.3): arrivals serialise through the client's access link.
-    client_bandwidth_bps: float = float("inf")
-
-    @property
-    def k(self) -> int:
-        """Number of original blocks."""
-        return max(1, self.data_bytes // self.block_bytes)
-
-    @property
-    def n_coded(self) -> int:
-        """Coded blocks at the configured redundancy."""
-        return max(self.k, int(round((1.0 + self.redundancy) * self.k)))
-
-    @property
-    def replicas(self) -> int:
-        """Copies per block for the replication schemes (D + 1)."""
-        return int(round(self.redundancy)) + 1
-
-
-def _jsonable(value):
-    """Canonical JSON form: numpy scalars/arrays -> python, dict keys -> str.
-
-    The mapping is idempotent (``_jsonable(_jsonable(x)) == _jsonable(x)``),
-    which is what makes :meth:`AccessResult.to_jsonable` a fixed point under
-    JSON round-trips: floats survive exactly (including ``inf``/``nan``),
-    and every container lands in the one shape ``json.loads`` produces.
-    """
-    if type(value) in (int, float, str, bool, type(None)):
-        # Exact-type fast path: the overwhelming share of values are
-        # already-plain scalars (numpy subclasses fall through to the
-        # isinstance chain below).
-        return value
-    if isinstance(value, dict):
-        return {str(k): _jsonable(v) for k, v in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_jsonable(v) for v in value]
-    if isinstance(value, np.bool_):
-        return bool(value)
-    if isinstance(value, np.integer):
-        return int(value)
-    if isinstance(value, np.floating):
-        return float(value)
-    if isinstance(value, np.ndarray):
-        return [_jsonable(v) for v in value.tolist()]
-    return value
-
-
-#: AccessResult fields serialised by :meth:`AccessResult.to_jsonable`, in
-#: canonical order.  Kept explicit (rather than introspected) so a new
-#: field is a conscious codec decision — cache entries and cross-process
-#: payloads depend on this shape.
-_RESULT_FIELDS = (
-    "latency_s",
-    "data_bytes",
-    "network_bytes",
-    "disk_blocks",
-    "blocks_received",
-    "cache_hits",
-    "rounds",
-    "extra",
-)
-
-
-@dataclass
-class AccessResult:
-    """Metrics of one access (§6.2.3)."""
-
-    latency_s: float
-    data_bytes: int
-    network_bytes: int
-    disk_blocks: int
-    blocks_received: int
-    cache_hits: int = 0
-    rounds: int = 1
-    extra: dict = field(default_factory=dict)
-
-    @property
-    def bandwidth_bps(self) -> float:
-        """Delivered bandwidth: original data size / access latency."""
-        return self.data_bytes / self.latency_s if self.latency_s > 0 else 0.0
-
-    @property
-    def bandwidth_mbps(self) -> float:
-        return self.bandwidth_bps / MB
-
-    @property
-    def io_overhead(self) -> float:
-        """(bytes sent over networks - data size) / data size (§6.2.3)."""
-        return (self.network_bytes - self.data_bytes) / self.data_bytes
-
-    def to_jsonable(self) -> dict:
-        """Lossless JSON form of this result.
-
-        Numeric fields survive a JSON round-trip exactly (Python prints
-        shortest-round-trip floats; ``inf`` travels as ``Infinity``);
-        ``extra`` is canonicalised (numpy scalars to python scalars, dict
-        keys to strings), so re-encoding a decoded result is byte-stable —
-        the bit-identity contract :mod:`repro.exec` checks across process
-        boundaries rests on this.
-        """
-        return {name: _jsonable(getattr(self, name)) for name in _RESULT_FIELDS}
-
-    @classmethod
-    def from_jsonable(cls, data: dict) -> "AccessResult":
-        """Rebuild a result from :meth:`to_jsonable` output."""
-        unknown = set(data) - set(_RESULT_FIELDS)
-        if unknown:
-            raise ValueError(f"unknown AccessResult fields: {sorted(unknown)}")
-        return cls(**{name: data[name] for name in _RESULT_FIELDS if name in data})
-
-
-@dataclass
-class DiskStream:
-    """One disk's contribution to an access."""
-
-    disk_id: int
-    block_ids: np.ndarray          # stored order
-    cached: np.ndarray             # mask aligned with block_ids
-    completions: np.ndarray        # disk completion time of uncached blocks
-    arrivals: np.ndarray           # client arrival time, aligned w/ block_ids
-    one_way_s: float
-
-
-#: Cap on sampled points per counter series — traces stay compact while the
-#: report's queue-depth / in-flight histograms keep their shape.
-_COUNTER_SAMPLES = 8
-
-
-def _sample_indices(n: int, cap: int = _COUNTER_SAMPLES) -> np.ndarray:
-    """Up to ``cap`` evenly spaced indices into a length-``n`` series."""
-    if n <= 0:
-        return np.empty(0, dtype=np.int64)
-    if n <= cap:
-        return np.arange(n, dtype=np.int64)
-    return np.unique(np.linspace(0, n - 1, cap).astype(np.int64))
-
-
-def trace_read_access(
-    tracer,
-    scheme_name: str,
-    trial: int,
-    streams: list["DiskStream"],
-    t_open: float,
-    t_done: float,
-    consumed: int,
-    block_bytes: int,
-    data_bytes: int,
-) -> None:
-    """Record the scheme-level view of one read access.
-
-    Emits the open + whole-access spans, samples the client's in-flight
-    block count over the access, and feeds the byte ledger the two numbers
-    the :class:`repro.obs.TraceReport` reconciliation rests on: ``consumed``
-    (bytes the client used) and ``data`` (bytes it asked for).  The
-    ``network`` side of the ledger is accounted in :func:`finalize_read`.
-    """
-    if not tracer.enabled:
-        return
-    tracer.count("scheme.reads")
-    tracer.account_bytes("consumed", consumed * block_bytes)
-    tracer.account_bytes("data", data_bytes)
-    tracer.span("scheme.open", "scheme", 0.0, t_open, track="scheme")
-    name = f"scheme.read:{scheme_name}"
-    if np.isfinite(t_done):
-        tracer.span(
-            name,
-            "scheme",
-            0.0,
-            t_done,
-            track="scheme",
-            args={"trial": trial, "blocks_consumed": consumed},
-        )
-    else:
-        tracer.instant(
-            f"{name}:failed", "scheme", t_open, track="scheme", args={"trial": trial}
-        )
-        tracer.count("scheme.failed_reads")
-    total = sum(int(s.block_ids.size) for s in streams)
-    if total:
-        times = np.sort(np.concatenate([s.arrivals for s in streams]))
-        times = times[np.isfinite(times)]
-        for i in _sample_indices(times.size):
-            tracer.counter(
-                "client.inflight", float(times[i]), total - (i + 1), track="client"
-            )
-
-
-def serve_read_queues(
-    cluster: Cluster,
-    disk_ids,
-    placement: list[list[int]],
-    block_bytes: int,
-    t_send: float,
-    rng_for,
-    file_name: str = "",
-) -> list[DiskStream]:
-    """Run every disk's stored queue; return per-disk streams.
-
-    ``rng_for(disk_id)`` supplies each disk's random stream.  Cached blocks
-    are served by the filer at request-arrival time; the rest queue at the
-    disk in stored order.
-    """
-    streams: list[DiskStream] = []
-    tracer = cluster.tracer
-    phase_rng_for = getattr(rng_for, "phase_rng_for", None)
-    for idx, disk_id in enumerate(disk_ids):
-        disk_id = int(disk_id)
-        filer = cluster.filer_of_disk(disk_id)
-        blocks = np.asarray(placement[idx], dtype=np.int64)
-        one_way = filer.link.one_way_s
-        t_arrive = request_arrival_time(cluster, disk_id, t_send, one_way)
-        cached = filer.cached_blocks(file_name, blocks)
-        n_cached = int(np.count_nonzero(cached))
-        n_uncached = blocks.size - n_cached
-        svc = cluster.block_service(
-            disk_id, rng_for(disk_id), phase_rng_for=phase_rng_for
-        )
-        completions = svc.serve(n_uncached, block_bytes, t_arrive)
-        if n_cached == 0:
-            # Common case (cold filesystem cache): every block queues at
-            # the disk — same values as the masked assignment below.
-            arrivals = np.asarray(
-                response_arrival_times(cluster, disk_id, completions, one_way),
-                dtype=np.float64,
-            )
-        else:
-            arrivals = np.empty(blocks.size, dtype=np.float64)
-            arrivals[cached] = response_arrival_times(
-                cluster, disk_id, t_arrive, one_way
-            )
-            arrivals[~cached] = response_arrival_times(
-                cluster, disk_id, completions, one_way
-            )
-        if tracer.enabled:
-            tracer.span(
-                "filer.request",
-                "filer",
-                t_send,
-                t_arrive,
-                track="filer",
-                args={"disk": disk_id, "blocks": int(blocks.size)},
-            )
-            last = float(completions[-1]) if completions.size else t_arrive
-            if np.isfinite(last):
-                tracer.span(
-                    "drive.queue",
-                    "drive",
-                    t_arrive,
-                    last,
-                    track="drive",
-                    args={
-                        "disk": disk_id,
-                        "queued": n_uncached,
-                        "cached": int(blocks.size) - n_uncached,
-                    },
-                )
-                for i in _sample_indices(completions.size):
-                    tracer.counter(
-                        "drive.queue_depth",
-                        float(completions[i]),
-                        n_uncached - (i + 1),
-                        track="drive",
-                    )
-                if tracer.detail and completions.size:
-                    starts = np.concatenate([[t_arrive], completions[:-1]])
-                    for bid, t0b, t1b in zip(
-                        blocks[~cached], starts, completions
-                    ):
-                        tracer.span(
-                            "drive.block",
-                            "drive",
-                            float(t0b),
-                            float(t1b),
-                            track=f"disk{disk_id}",
-                            args={"block": int(bid)},
-                        )
-        streams.append(
-            DiskStream(disk_id, blocks, cached, completions, arrivals, one_way)
-        )
-    return streams
-
-
-def merged_arrival_order(
-    streams: list[DiskStream],
-    block_bytes: int = 0,
-    client_bandwidth_bps: float = float("inf"),
-) -> tuple[np.ndarray, np.ndarray]:
-    """All (arrival time, block id) pairs across disks, time-sorted.
-
-    With a finite client NIC rate, consecutive arrivals additionally
-    serialise through the access link: arrival i completes no earlier than
-    one block-transfer after arrival i-1 finished draining.
-    """
-    if not streams:
-        return np.empty(0), np.empty(0, dtype=np.int64)
-    times = np.concatenate([s.arrivals for s in streams])
-    ids = np.concatenate([s.block_ids for s in streams])
-    order = np.argsort(times, kind="stable")
-    times, ids = times[order], ids[order]
-    if np.isfinite(client_bandwidth_bps) and block_bytes > 0 and times.size:
-        xfer = block_bytes / client_bandwidth_bps
-        drained = np.empty_like(times)
-        prev = -np.inf
-        for i, t in enumerate(times):
-            prev = max(t, prev + xfer) if np.isfinite(t) else t
-            drained[i] = prev
-        times = drained
-    return times, ids
-
-
-def completion_time(
-    streams: list[DiskStream],
-    tracker: CompletionTracker,
-    block_bytes: int = 0,
-    client_bandwidth_bps: float = float("inf"),
-) -> tuple[float, int]:
-    """Feed arrivals to ``tracker``; return (finish time, blocks consumed).
-
-    Returns ``(inf, consumed)`` if the access can never complete with the
-    queued blocks (insufficient redundancy reached the disks).
-    """
-    t, consumed, _ = completion_with_order(
-        streams, tracker, block_bytes, client_bandwidth_bps
-    )
-    return t, consumed
-
-
-def completion_with_order(
-    streams: list[DiskStream],
-    tracker: CompletionTracker,
-    block_bytes: int = 0,
-    client_bandwidth_bps: float = float("inf"),
-) -> tuple[float, int, list[int]]:
-    """Like :func:`completion_time` but also returns the consumed block ids
-    in arrival order (the data-path API replays real decoding with them).
-
-    Trackers exposing ``observe(t, block_id)`` (the
-    :class:`repro.core.trackers.TrackerBase` hook) are fed the arrival time
-    too; plain ``add``-only trackers keep working unchanged.
-    """
-    times, ids = merged_arrival_order(streams, block_bytes, client_bandwidth_bps)
-    # Class-level lookup on purpose: recording/tracing proxies that forward
-    # attribute access to an inner tracker must keep the scalar loop, or
-    # their observe() hook would be silently bypassed.
-    consume = getattr(type(tracker), "consume_arrivals", None)
-    if consume is not None and times.size:
-        # Batched fast path (AllBlocks/Coverage trackers): same
-        # (t_fill, consumed) as the scalar loop, proven element-for-element
-        # by tests/test_trackers_batch.py.
-        t_fill, consumed = consume(tracker, times, ids)
-        if tracker.complete:
-            # t_fill may be inf (completed by a never-arriving block on a
-            # failed disk) — completion, not time, decides the slice.
-            return t_fill, consumed, ids[:consumed].tolist()
-        return float("inf"), int(times.size), ids.tolist()
-    observe = getattr(tracker, "observe", None)
-    for consumed, (t, bid) in enumerate(zip(times, ids), start=1):
-        if observe is not None:
-            observe(float(t), int(bid))
-        else:
-            tracker.add(int(bid))
-        if tracker.complete:
-            return float(t), consumed, [int(b) for b in ids[:consumed]]
-    return float("inf"), int(times.size), [int(b) for b in ids]
-
-
-def finalize_read(
-    streams: list[DiskStream],
-    cluster: Cluster,
-    t_done: float,
-    block_bytes: int,
-    file_name: str = "",
-) -> tuple[int, int, int]:
-    """Cancel outstanding work at ``t_done``; account transferred bytes.
-
-    Returns (network bytes, disk blocks read, filesystem-cache hits).
-    The cancel message reaches each disk one one-way latency after
-    ``t_done``; blocks completed or in flight by then were transferred.
-    """
-    network_bytes = 0
-    disk_blocks = 0
-    cache_hits = 0
-    tracer = cluster.tracer
-    for s in streams:
-        t_cancel = t_done + s.one_way_s
-        served = served_before(s.completions, t_cancel)
-        n_cached = int(np.count_nonzero(s.cached))
-        cache_hits += n_cached
-        disk_blocks += served
-        sent = served + n_cached
-        nbytes = sent * block_bytes
-        network_bytes += nbytes
-        if tracer.enabled:
-            cancelled = int(s.block_ids.size) - sent
-            tracer.account_bytes("network", nbytes)
-            tracer.instant(
-                "scheme.cancel",
-                "scheme",
-                t_cancel,
-                track="scheme",
-                args={"disk": s.disk_id, "sent": sent, "cancelled": cancelled},
-            )
-            if cancelled > 0:
-                tracer.count("scheme.blocks_cancelled_in_queue", cancelled)
-        filer = cluster.filer_of_disk(s.disk_id)
-        filer.link.account(nbytes)
-        # Blocks that came off the platters populate the filesystem cache.
-        uncached_ids = s.block_ids[~s.cached][:served]
-        filer.record_read(file_name, uncached_ids, block_bytes)
-        cached_ids = s.block_ids[s.cached]
-        filer.record_read(file_name, cached_ids, block_bytes)
-    return network_bytes, disk_blocks, cache_hits
-
-
-def simulate_uniform_write(
-    cluster: Cluster,
-    disk_ids,
-    placement: list[list[int]],
-    block_bytes: int,
-    t_send: float,
-    rng_for,
-    file_name: str = "",
-) -> tuple[float, int]:
-    """Write the same stored queues to every disk; wait for all commits.
-
-    RAID-0 / RRAID-S / RRAID-A writes are uniform: completion is gated by
-    the slowest disk (§6.3.1).  Returns (completion time at client, bytes
-    over the network); the completion time is ``inf`` when any written-to
-    disk fail-stops before committing (the write never fully acks).
-    Write-through populates the filesystem caches.
-    """
-    t_done = t_send
-    network_bytes = 0
-    tracer = cluster.tracer
-    phase_rng_for = getattr(rng_for, "phase_rng_for", None)
-    for idx, disk_id in enumerate(disk_ids):
-        disk_id = int(disk_id)
-        filer = cluster.filer_of_disk(disk_id)
-        blocks = np.asarray(placement[idx], dtype=np.int64)
-        one_way = filer.link.one_way_s
-        svc = cluster.block_service(
-            disk_id, rng_for(disk_id), phase_rng_for=phase_rng_for
-        )
-        t_arrive = request_arrival_time(cluster, disk_id, t_send, one_way)
-        completions = svc.serve(blocks.size, block_bytes, t_arrive)
-        if blocks.size:
-            ack = response_arrival_times(
-                cluster, disk_id, float(completions[-1]), one_way
-            )
-            t_done = max(t_done, float(ack))
-        nbytes = blocks.size * block_bytes
-        network_bytes += nbytes
-        if tracer.enabled:
-            tracer.account_bytes("network", nbytes)
-            if blocks.size and np.isfinite(completions[-1]):
-                tracer.span(
-                    "drive.write_queue",
-                    "drive",
-                    t_arrive,
-                    float(completions[-1]),
-                    track="drive",
-                    args={"disk": disk_id, "blocks": int(blocks.size)},
-                )
-        filer.link.account(nbytes)
-        filer.record_write(file_name, blocks, block_bytes)
-    return t_done, network_bytes
-
-
-def decode_tail_s(block_bytes: int) -> float:
-    """Latency charged for decoding the final block (§6.2.5)."""
-    return block_bytes / DECODE_BANDWIDTH_BPS
-
-
-def open_latency_s(metadata: Optional[MetadataServer]) -> float:
-    """Metadata + connection setup cost at access start."""
-    return metadata.latency_s if metadata is not None else 0.005

@@ -78,6 +78,21 @@ class SchemeBase:
         rng_for.phase_rng_for = phase_rng_for
         return rng_for
 
+    def reference_rng_factory(self, trial: int) -> Callable[[int], np.random.Generator]:
+        """Per-disk service streams for the event-driven reference engine.
+
+        A separate stream family (``"refsvc"``) from the closed form's
+        ``"svc"``: the DES interleaves foreground and background draws per
+        request, so sharing a stream would make the two engines perturb
+        each other's draw order.  Keyed by (scheme, trial, disk) — the two
+        engines stay independently reproducible.
+        """
+
+        def rng_for(disk_id: int) -> np.random.Generator:
+            return self.hub.fresh("refsvc", self.name, trial, disk_id)
+
+        return rng_for
+
     def open_latency(self) -> float:
         return open_latency_s(self.metadata)
 

@@ -1,10 +1,11 @@
 """Completion policies: when an access can finish, and at what decode cost.
 
 Each policy builds a fresh per-access tracker (the mutable state lives in
-:mod:`repro.core.trackers`, not here), converts the tracker's fill time
-into the access completion and cancel times, contributes its result extras
-and trace events, and — where the event-driven reference engine supports
-the semantics — supplies the reference tracker.
+:mod:`repro.accesscore.trackers`, not here), converts the tracker's fill
+time into the access completion and cancel times, and contributes its
+result extras and trace events.  The same ``tracker`` hook feeds both
+engines — the closed form consumes it against a sorted arrival vector,
+the event-driven reference engine one inbox message at a time.
 
 The fill/cancel asymmetries the policies encode:
 
@@ -19,17 +20,17 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.coding.peeling import PeelingDecoder
-from repro.core.access import decode_tail_s
-from repro.core.policy.base import ReadPlan
-from repro.core.policy.placement import rs_decode_bandwidth_bps
-from repro.core.trackers import (
+from repro.accesscore.routing import decode_tail_s
+from repro.accesscore.trackers import (
     AllBlocksTracker,
     CoverageTracker,
     DecoderTracker,
     GroupedRSTracker,
     ParityStripeTracker,
 )
+from repro.coding.peeling import PeelingDecoder
+from repro.core.policy.base import ReadPlan
+from repro.core.policy.placement import rs_decode_bandwidth_bps
 
 
 class _CompletionBase:
@@ -53,18 +54,12 @@ class AllBlocksCompletion(_CompletionBase):
     def tracker(self, scheme, record, plan: ReadPlan):
         return AllBlocksTracker(scheme.config.k)
 
-    def reference_tracker(self, scheme_name, k, graph):
-        return AllBlocksTracker(k)
-
 
 class CoverageCompletion(_CompletionBase):
     """Replicated layouts: one copy of every original block (id % K)."""
 
     def tracker(self, scheme, record, plan: ReadPlan):
         return CoverageTracker(scheme.config.k)
-
-    def reference_tracker(self, scheme_name, k, graph):
-        return CoverageTracker(k)
 
 
 class LTDecodeCompletion(_CompletionBase):
@@ -98,11 +93,6 @@ class LTDecodeCompletion(_CompletionBase):
                 track="scheme",
                 args={"blocks_consumed": consumed},
             )
-
-    def reference_tracker(self, scheme_name, k, graph):
-        if graph is None:
-            raise ValueError("robustore needs the coding graph")
-        return DecoderTracker(PeelingDecoder(graph))
 
 
 class GroupedRSCompletion(_CompletionBase):

@@ -11,7 +11,9 @@ hand-off.
 Both engines are completion-agnostic — the composition's completion
 policy decides when "enough" has arrived and what decode tail follows —
 and fault-reaction-agnostic — the reaction policy plans the read and, for
-the speculative engine, may serve a second round after a stall.
+the speculative engine, may serve a second round after a stall.  The
+timeline mechanics themselves (serve, consume, cancel, account, trace)
+live in :mod:`repro.accesscore`; these classes only sequence them.
 """
 
 from __future__ import annotations
@@ -21,15 +23,15 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.access import (
-    AccessResult,
+from repro.accesscore.result import AccessResult
+from repro.accesscore.routing import request_arrival_time, response_arrival_times
+from repro.accesscore.timeline import (
     completion_with_order,
-    finalize_read,
-    request_arrival_time,
-    response_arrival_times,
+    consume_sorted_arrivals,
+    read_epilogue,
     serve_read_queues,
-    trace_read_access,
 )
+from repro.accesscore.tracing import trace_read_summary
 from repro.disk.service import BlockService
 
 
@@ -67,32 +69,9 @@ class SpeculativeDispatch:
                 rounds = 2
                 if scheme.tracer.enabled:
                     scheme.tracer.count("scheme.respeculations")
-        t_done, t_cancel = completion.finish(scheme, tracker, t_fill)
-        net, disk_blocks, hits = finalize_read(
-            streams, scheme.cluster, t_cancel, cfg.block_bytes, record.name
-        )
-        if spec.traced:
-            trace_read_access(
-                scheme.tracer, scheme.name, trial, streams, t0, t_done, consumed,
-                cfg.block_bytes, cfg.data_bytes,
-            )
-        completion.trace(scheme.tracer, tracker, t_fill, t_done, consumed)
-        extra = dict(plan.extra)
-        extra.update(completion.extras(scheme, tracker, t_fill, t_done))
-        if completion.wants_order:
-            # The block ids the client consumed, in arrival order — the
-            # data-path API replays real payload decoding with it.
-            extra["arrival_order"] = order
-        spec.reaction.annotate(scheme, record, extra, t_done, t0)
-        return AccessResult(
-            latency_s=t_done,
-            data_bytes=cfg.data_bytes,
-            network_bytes=net,
-            disk_blocks=disk_blocks,
-            blocks_received=consumed,
-            cache_hits=hits,
-            rounds=rounds,
-            extra=extra,
+        return read_epilogue(
+            scheme, spec, record, plan, trial,
+            streams, tracker, t_fill, consumed, order, rounds, t0,
         )
 
 
@@ -161,6 +140,9 @@ class AdaptiveDispatch:
     to one uncancelled round — the honest cost of pairing a coded layout
     with physical-granularity hand-offs.
     """
+
+    #: The event-driven wrapper keys its steal loop off this flag.
+    adaptive = True
 
     def read(self, scheme, spec, record, plan, trial) -> AccessResult:
         cfg = scheme.config
@@ -437,36 +419,18 @@ class AdaptiveDispatch:
             serve_batch(b, keep, b_start)
             serve_batch(a, steal, t_dec + a.one_way)
 
-        # Completion: feed arrivals to the composition's tracker in order.
+        # Completion: feed arrivals to the composition's tracker in order,
+        # through the access-core's one consumption loop.
         arrivals.sort()
         tracker = completion.tracker(scheme, record, plan)
-        # Class-level lookup on purpose: recording/tracing proxies that
-        # forward attribute access to an inner tracker must keep the scalar
-        # loop, or their observe() hook would be silently bypassed.
-        consume = getattr(type(tracker), "consume_arrivals", None)
-        if consume is not None and arrivals:
-            # Batched fast path (AllBlocks/Coverage trackers): same
-            # (t_fill, consumed) as the scalar loop, proven element-for-
-            # element by tests/test_trackers_batch.py.
+        if arrivals:
             t_arr, b_arr = zip(*arrivals)
-            t_fill, consumed = consume(
-                tracker,
-                np.array(t_arr, dtype=np.float64),
-                np.array(b_arr, dtype=np.int64),
-            )
+            times = np.array(t_arr, dtype=np.float64)
+            ids = np.array(b_arr, dtype=np.int64)
         else:
-            observe = getattr(tracker, "observe", None)
-            t_fill = float("inf")
-            consumed = 0
-            for t, bid in arrivals:
-                consumed += 1
-                if observe is not None:
-                    observe(float(t), int(bid))
-                else:
-                    tracker.add(int(bid))
-                if tracker.complete:
-                    t_fill = float(t)
-                    break
+            times = np.empty(0, dtype=np.float64)
+            ids = np.empty(0, dtype=np.int64)
+        t_fill, consumed = consume_sorted_arrivals(tracker, times, ids)
         t_done, _ = completion.finish(scheme, tracker, t_fill)
 
         # Fetched blocks cross the network once; block fractions delivered
@@ -477,27 +441,13 @@ class AdaptiveDispatch:
             scheme.cluster.filer_of_disk(run.disk_id).link.account(
                 len(run.batch_ids) * cfg.block_bytes
             )
-        if tracer.enabled:
-            tracer.count("scheme.reads")
-            tracer.account_bytes("network", net_bytes)
-            tracer.account_bytes("consumed", consumed * cfg.block_bytes)
-            tracer.account_bytes("data", cfg.data_bytes)
-            tracer.span("scheme.open", "scheme", 0.0, t0, track="scheme")
-            if np.isfinite(t_done):
-                tracer.span(
-                    f"scheme.read:{scheme.name}",
-                    "scheme",
-                    0.0,
-                    t_done,
-                    track="scheme",
-                    args={
-                        "trial": trial,
-                        "blocks_consumed": consumed,
-                        "rounds": rounds,
-                    },
-                )
-            else:
-                tracer.count("scheme.failed_reads")
+        trace_read_summary(
+            tracer, scheme.name, trial, t0, t_done, consumed,
+            cfg.block_bytes, cfg.data_bytes,
+            network_bytes=net_bytes,
+            span_args={"rounds": rounds},
+            failed_instant=False,
+        )
         completion.trace(tracer, tracker, t_fill, t_done, consumed)
 
         extra = dict(plan.extra)

@@ -8,17 +8,19 @@ The reaction layer owns three decision points of a read:
 * :meth:`~PassiveReaction.on_stall` — build second-round streams after a
   stalled first round (RobuSTore's re-speculation), or ``None``;
 * :meth:`~PassiveReaction.annotate` — post-access bookkeeping on the
-  result extras (RobuSTore's repair-trigger flags).
+  result extras (RobuSTore's repair-trigger flags, through the
+  access-core's single repair wiring site).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.access import AccessResult, serve_read_queues
+from repro.accesscore.repair import annotate_repair
+from repro.accesscore.result import AccessResult
+from repro.accesscore.timeline import serve_read_queues
+from repro.accesscore.trackers import PARITY_BASE
 from repro.core.policy.base import ReadPlan
-from repro.core.trackers import PARITY_BASE
-from repro.faults.inject import surviving_blocks
 
 
 class PassiveReaction:
@@ -54,38 +56,34 @@ class EmergentFailover(PassiveReaction):
 class Respeculate(PassiveReaction):
     """RobuSTore: re-request undelivered blocks, flag files for repair."""
 
+    #: The event-driven wrapper keys its second-round machinery off this.
+    respeculates = True
+
     #: When permanent fail-stops push a file's surviving redundancy below
     #: this fraction of the configured degree, reads flag the file for a
     #: background rebuild (``extra["repair_triggered"]``;
     #: :func:`repro.faults.inject.maybe_repair` acts on it).
     REPAIR_REDUNDANCY_FLOOR = 0.5
 
-    def on_stall(self, scheme, streams, trial, file_name, t_fill):
-        """Build the second-round streams after a fault-stalled decode.
+    def retry_targets(self, scheme, pending, t_retry_floor, t0):
+        """Resolve where and when a second round can go.
 
-        The client notices the stall once every finite round-1 arrival has
-        drained without completing the decode.  Blocks whose arrivals never
-        materialised are re-requested from their disks — skipping disks that
-        are permanently gone, and waiting for the next recovery when every
-        stalled disk is still down at the stall instant.  Returns ``None``
-        when no disk can serve a second round (the read genuinely fails).
+        ``pending`` maps disk id -> undelivered block ids (disks that are
+        permanently gone already excluded); ``t_retry_floor`` is the
+        earliest instant the client can have observed the stall (its last
+        finite arrival).  Pushes the retry past each pending disk's
+        post-fail recovery, drops disks still down at that instant, and
+        emits the re-speculation trace event.  Returns ``(disks, t_retry)``
+        or ``None`` when no disk can serve a second round — shared by both
+        engines so the retry rule exists once.
         """
-        cfg = scheme.config
-        injector = scheme.cluster.faults
-        t0 = scheme.open_latency()
-        pending: dict[int, list[int]] = {}
-        for s in streams:
-            pend = s.block_ids[~np.isfinite(s.arrivals)]
-            if pend.size and not injector.permanently_failed(s.disk_id):
-                pending[s.disk_id] = [int(b) for b in pend]
         if not pending:
             return None
+        injector = scheme.cluster.faults
         # The client observes the stall no earlier than (a) its last finite
         # arrival and (b) the fail-stop that flushed each pending queue; it
         # re-requests once every pending disk has restarted.
-        finite = [s.arrivals[np.isfinite(s.arrivals)] for s in streams]
-        finite = np.concatenate(finite) if finite else np.empty(0)
-        t_retry = float(finite.max()) if finite.size else t0
+        t_retry = t_retry_floor
         for d in pending:
             tl = injector.timeline(d)
             flush = tl.next_fail_after(t0)
@@ -105,6 +103,33 @@ class Respeculate(PassiveReaction):
                     "blocks": sum(len(pending[d]) for d in disks),
                 },
             )
+        return disks, t_retry
+
+    def on_stall(self, scheme, streams, trial, file_name, t_fill):
+        """Build the second-round streams after a fault-stalled decode.
+
+        The client notices the stall once every finite round-1 arrival has
+        drained without completing the decode.  Blocks whose arrivals never
+        materialised are re-requested from their disks — skipping disks that
+        are permanently gone, and waiting for the next recovery when every
+        stalled disk is still down at the stall instant.  Returns ``None``
+        when no disk can serve a second round (the read genuinely fails).
+        """
+        cfg = scheme.config
+        injector = scheme.cluster.faults
+        t0 = scheme.open_latency()
+        pending: dict[int, list[int]] = {}
+        for s in streams:
+            pend = s.block_ids[~np.isfinite(s.arrivals)]
+            if pend.size and not injector.permanently_failed(s.disk_id):
+                pending[s.disk_id] = [int(b) for b in pend]
+        finite = [s.arrivals[np.isfinite(s.arrivals)] for s in streams]
+        finite = np.concatenate(finite) if finite else np.empty(0)
+        t_retry_floor = float(finite.max()) if finite.size else t0
+        resolved = self.retry_targets(scheme, pending, t_retry_floor, t0)
+        if resolved is None:
+            return None
+        disks, t_retry = resolved
         return serve_read_queues(
             scheme.cluster,
             disks,
@@ -116,28 +141,10 @@ class Respeculate(PassiveReaction):
         )
 
     def annotate(self, scheme, record, extra, t_done, t0):
-        injector = scheme.cluster.faults
-        if injector is None:
-            return None
-        cfg = scheme.config
-        surviving = surviving_blocks(injector, record)
-        surv_red = surviving / cfg.k - 1.0
-        extra["surviving_redundancy"] = surv_red
         floor = getattr(
             scheme, "REPAIR_REDUNDANCY_FLOOR", self.REPAIR_REDUNDANCY_FLOOR
         )
-        extra["repair_triggered"] = bool(surv_red < floor * cfg.redundancy)
-        tracer = scheme.tracer
-        if extra["repair_triggered"] and tracer.enabled:
-            tracer.count("scheme.repairs_triggered")
-            tracer.instant(
-                "scheme.repair_trigger",
-                "scheme",
-                t_done if np.isfinite(t_done) else t0,
-                track="scheme",
-                args={"surviving_redundancy": surv_red},
-            )
-        return None
+        return annotate_repair(scheme, record, extra, t_done, t0, floor)
 
 
 class DegradedParityRead(PassiveReaction):

@@ -9,47 +9,38 @@ reach the target redundancy and (b) guarantee decodability of the
 committed set, then cancels (§4.3.2, §5.2.3 improvement 1) — leaving the
 *unbalanced* placement the read path replays faithfully.
 
+The speculative write is split the same way reads are: the closed form
+here evaluates the ack timeline vectorised; the event-driven engine
+(:mod:`repro.accesscore.events`) replays it ack-by-ack.  Both build the
+supply from :meth:`SpeculativeRatelessWrite.supply_plan`, stop through the
+same :class:`~repro.accesscore.trackers.DecodableCommit` gate, and settle
+through :meth:`SpeculativeRatelessWrite.commit`.
+
 Fail-stop detection is shared: a write whose commit acks never all arrive
-(:func:`acks_incomplete`) resolves through :func:`failed_write_result`,
-the single place a failed write is counted and shaped.
+(:func:`~repro.accesscore.timeline.acks_incomplete`) resolves through
+:func:`~repro.accesscore.timeline.failed_write_result`, the single place a
+failed write is counted and shaped.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.coding.peeling import PeelingDecoder
-from repro.core.access import (
-    AccessResult,
-    request_arrival_time,
-    response_arrival_times,
+from repro.accesscore.result import AccessResult
+from repro.accesscore.routing import request_arrival_time, response_arrival_times
+from repro.accesscore.timeline import (  # noqa: F401  (re-exported: original path)
+    acks_incomplete,
+    failed_write_result,
     simulate_uniform_write,
 )
+from repro.accesscore.trackers import DecodableCommit
+from repro.coding.peeling import PeelingDecoder
 from repro.core.policy.placement import (
     lt_coding,
     pooled_graph,
     rs_decode_bandwidth_bps,
 )
 from repro.disk.service import served_before
-
-
-def acks_incomplete(ack_times) -> bool:
-    """True when some commit ack never arrives (a disk fail-stopped)."""
-    return not np.all(np.isfinite(ack_times))
-
-
-def failed_write_result(scheme, extra: dict) -> AccessResult:
-    """The one shape of a failed write: infinite latency, nothing durable."""
-    if scheme.tracer.enabled:
-        scheme.tracer.count("scheme.failed_writes")
-    return AccessResult(
-        latency_s=float("inf"),
-        data_bytes=scheme.config.data_bytes,
-        network_bytes=0,
-        disk_blocks=0,
-        blocks_received=0,
-        extra=extra,
-    )
 
 
 class UniformWrite:
@@ -73,6 +64,13 @@ class UniformWrite:
             scheme.service_rng_factory(trial, "write"),
             file_name,
         )
+        return self.settle(scheme, file_name, disks, pspec, t_done, net, t0)
+
+    def settle(
+        self, scheme, file_name, disks, pspec, t_done, net, t0
+    ) -> AccessResult:
+        """Shared uniform-write epilogue: encode tail, register, result."""
+        cfg = scheme.config
         extra = {}
         encode_s = self.encode_tail_s(scheme, pspec)
         if encode_s is not None:
@@ -116,7 +114,14 @@ class SpeculativeRatelessWrite:
     #: via a ``WRITE_SUPPLY_FACTOR`` class attribute.
     WRITE_SUPPLY_FACTOR = 8
 
-    def write(self, scheme, spec, file_name, trial) -> AccessResult:
+    def supply_plan(self, scheme, trial):
+        """The rateless supply: (disks, per-disk cap, target N, graph).
+
+        Disk ``idx`` streams coded ids ``idx, idx+H, idx+2H, ...`` up to
+        the cap; the pooled graph covers the whole supply so any committed
+        subset can be checked for decodability.  Both engines build their
+        write from this one plan (same trial -> same graph, same caps).
+        """
         cfg = scheme.config
         disks = scheme.select_disks(trial)
         h = len(disks)
@@ -131,66 +136,35 @@ class SpeculativeRatelessWrite:
             trial,
             checked=False,
         )
-        rng_for = scheme.service_rng_factory(trial, "write")
-        t0 = scheme.open_latency()
+        return disks, per_disk_cap, target, graph
 
-        # Each disk streams ids d, d+H, d+2H, ...; speculative writing keeps
-        # every disk busy until the client cancels.
-        completions: list[np.ndarray] = []
-        one_ways: list[float] = []
-        acks: list[np.ndarray] = []
-        phase_rng_for = getattr(rng_for, "phase_rng_for", None)
-        for idx, disk_id in enumerate(disks):
-            disk_id = int(disk_id)
-            filer = scheme.cluster.filer_of_disk(disk_id)
-            one_way = filer.link.one_way_s
-            svc = scheme.cluster.block_service(
-                disk_id, rng_for(disk_id), phase_rng_for=phase_rng_for
-            )
-            t_arrive = request_arrival_time(scheme.cluster, disk_id, t0, one_way)
-            c = svc.serve(per_disk_cap, cfg.block_bytes, t_arrive)
-            completions.append(c)
-            one_ways.append(one_way)
-            acks.append(
-                np.asarray(
-                    response_arrival_times(scheme.cluster, disk_id, c, one_way)
-                )
-            )
+    def commit_gate(self, graph, target) -> DecodableCommit:
+        """The writer's stop rule, fed commit acks in time order."""
+        return DecodableCommit(PeelingDecoder(graph), target)
 
-        # Merge commit acks (commit + one-way back) in time order.
-        ack_times = np.concatenate(acks)
-        ack_ids = np.concatenate(
-            [idx + h * np.arange(c.size) for idx, c in enumerate(completions)]
-        )
-        order = np.argsort(ack_times, kind="stable")
-        ack_times, ack_ids = ack_times[order], ack_ids[order]
+    def commit(
+        self,
+        scheme,
+        file_name,
+        disks,
+        one_ways,
+        completions,
+        per_disk_cap,
+        t_enough,
+        graph,
+        target,
+        trial,
+    ) -> AccessResult:
+        """Cancel at ``t_enough``; register the unbalanced placement.
 
-        # The writer stops once >= N blocks committed AND the committed set
-        # is decodable (the §5.2.3 writer-side guarantee).
-        decoder = PeelingDecoder(graph)
-        t_enough = None
-        for count, (t, bid) in enumerate(zip(ack_times, ack_ids), start=1):
-            decoder.add(int(bid))
-            if count >= target and decoder.is_complete:
-                t_enough = float(t)
-                break
-        # An infinite t_enough means the decodable target was only reached
-        # by counting acks that never arrive (flushed by a fail-stop).
-        if t_enough is None or not np.isfinite(t_enough):
-            if acks_incomplete(ack_times):
-                # Fault injection killed disks mid-write: the committed set
-                # never reaches a decodable target — the write fails rather
-                # than the supply being undersized.
-                return failed_write_result(
-                    scheme, {"target_blocks": target, "write_failed": True}
-                )
-            raise RuntimeError(
-                "speculative write exhausted its rateless supply; "
-                "increase WRITE_SUPPLY_FACTOR"
-            )
-
-        # Cancel: blocks committed (or in flight) when it reaches each disk
-        # are durable and define the unbalanced placement.
+        ``completions[idx]`` holds disk ``idx``'s commit times in time
+        order (the closed form's serve output; the event engine's recorded
+        multiset, sorted).  Blocks committed (or in flight) when the
+        cancel reaches each disk are durable and define the placement the
+        read path replays.
+        """
+        cfg = scheme.config
+        h = len(disks)
         placement: list[list[int]] = []
         net_bytes = 0
         total_committed = 0
@@ -240,4 +214,79 @@ class SpeculativeRatelessWrite:
             disk_blocks=total_committed,
             blocks_received=total_committed,
             extra={"target_blocks": target, "overshoot": total_committed - target},
+        )
+
+    def write(self, scheme, spec, file_name, trial) -> AccessResult:
+        cfg = scheme.config
+        disks, per_disk_cap, target, graph = self.supply_plan(scheme, trial)
+        h = len(disks)
+        rng_for = scheme.service_rng_factory(trial, "write")
+        t0 = scheme.open_latency()
+
+        # Each disk streams ids d, d+H, d+2H, ...; speculative writing keeps
+        # every disk busy until the client cancels.
+        completions: list[np.ndarray] = []
+        one_ways: list[float] = []
+        acks: list[np.ndarray] = []
+        phase_rng_for = getattr(rng_for, "phase_rng_for", None)
+        for idx, disk_id in enumerate(disks):
+            disk_id = int(disk_id)
+            filer = scheme.cluster.filer_of_disk(disk_id)
+            one_way = filer.link.one_way_s
+            svc = scheme.cluster.block_service(
+                disk_id, rng_for(disk_id), phase_rng_for=phase_rng_for
+            )
+            t_arrive = request_arrival_time(scheme.cluster, disk_id, t0, one_way)
+            c = svc.serve(per_disk_cap, cfg.block_bytes, t_arrive)
+            completions.append(c)
+            one_ways.append(one_way)
+            acks.append(
+                np.asarray(
+                    response_arrival_times(scheme.cluster, disk_id, c, one_way)
+                )
+            )
+
+        # Merge commit acks (commit + one-way back) in time order.
+        ack_times = np.concatenate(acks)
+        ack_ids = np.concatenate(
+            [idx + h * np.arange(c.size) for idx, c in enumerate(completions)]
+        )
+        order = np.argsort(ack_times, kind="stable")
+        ack_times, ack_ids = ack_times[order], ack_ids[order]
+
+        # The writer stops once >= N blocks committed AND the committed set
+        # is decodable (the §5.2.3 writer-side guarantee) — the shared
+        # DecodableCommit gate, fed the merged ack stream.
+        gate = self.commit_gate(graph, target)
+        t_enough = None
+        for t, bid in zip(ack_times, ack_ids):
+            t_enough = gate.add(float(t), int(bid))
+            if t_enough is not None:
+                break
+        # An infinite t_enough means the decodable target was only reached
+        # by counting acks that never arrive (flushed by a fail-stop).
+        if t_enough is None or not np.isfinite(t_enough):
+            if acks_incomplete(ack_times):
+                # Fault injection killed disks mid-write: the committed set
+                # never reaches a decodable target — the write fails rather
+                # than the supply being undersized.
+                return failed_write_result(
+                    scheme, {"target_blocks": target, "write_failed": True}
+                )
+            raise RuntimeError(
+                "speculative write exhausted its rateless supply; "
+                "increase WRITE_SUPPLY_FACTOR"
+            )
+
+        return self.commit(
+            scheme,
+            file_name,
+            disks,
+            one_ways,
+            completions,
+            per_disk_cap,
+            t_enough,
+            graph,
+            target,
+            trial,
         )

@@ -2,200 +2,53 @@
 
 The production experiment path computes disk queues in closed form (fast,
 validated).  This module is the *reference*: every entity — client, filer,
-drive, background generator — is a discrete-event process on the
-:mod:`repro.sim` kernel, exactly as Figure 6-3 draws the simulator.  It
-exists to (a) validate the vectorised engine (see
+drive, background generator, fault pump — is a discrete-event process on
+the :mod:`repro.sim` kernel, exactly as Figure 6-3 draws the simulator.
+It exists to (a) validate the vectorised engine (see
 ``tests/test_reference_engine.py``), and (b) support experiments the
 closed form cannot express, like multiple concurrent clients contending
 for the same drives (§7.3 "Evaluation for Multi-User Workloads").
 
-Scope: speculative reads (RAID-0 / RRAID-S / RobuSTore semantics via the
-completion trackers) on heterogeneous drives with optional background
-workloads and concurrent clients.
+The machinery lives in :mod:`repro.accesscore.events`: both engines wrap
+the same access core (metadata open, per-disk routing through link/fault
+timelines, policy-built trackers, the shared read/write epilogues), so a
+composition implemented once in :mod:`repro.core.policy` runs under either
+engine.  This module is the stable public face: scheme-object in,
+:class:`ReferenceAccess` out.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-import numpy as np
-
-from repro.cluster.server import Cluster
-from repro.core.access import CompletionTracker, decode_tail_s
-from repro.core.policy.compose import COMPOSITIONS
-from repro.disk.drive import DiskDrive, DiskRequest
-from repro.disk.geometry import SECTOR_BYTES
-from repro.disk.mechanics import DiskMechanics
-from repro.disk.workload import BackgroundWorkload
-from repro.sim.rng import stable_seed
-from repro.sim import Environment, Store
-
-
-@dataclass
-class ReferenceAccess:
-    """Outcome of one event-driven access (first client's view)."""
-
-    latency_s: float
-    blocks_received: int
-    network_bytes: int
-    per_client: dict = field(default_factory=dict)
-
-
-class ReferenceDrive:
-    """A drive entity whose per-block service times follow the same
-    distribution as :class:`repro.disk.service.BlockService`.
-
-    The drive serves whole data blocks: each is one queue entry whose
-    service time is sampled from the disk's (blocking factor, p_seq, zone)
-    state — identical inputs to the closed-form engine, so the two engines
-    are statistically comparable.  Requests from different clients and the
-    background stream share the queue under the ``fair`` discipline.
-    """
-
-    def __init__(
-        self,
-        env: Environment,
-        cluster: Cluster,
-        disk_id: int,
-        rng: np.random.Generator,
-        block_bytes: int,
-    ) -> None:
-        self.env = env
-        self.disk_id = disk_id
-        self.block_bytes = block_bytes
-        self.svc = cluster.block_service(disk_id, rng)
-        # The block-service sampler substitutes for the drive's
-        # sector-level timing so both engines draw from one distribution.
-        self.drive = DiskDrive(
-            env,
-            DiskMechanics(),
-            np.random.default_rng(0),
-            scheduler="fair",
-            service_time_fn=self._service_time,
-        )
-        state = cluster.disk_state(disk_id)
-        if state.background is not None:
-            self.drive.attach_background(
-                BackgroundWorkload(
-                    state.background.interval_s,
-                    np.random.default_rng(stable_seed(disk_id, "bg")),
-                )
-            )
-
-    def _service_time(self, req: DiskRequest) -> float:
-        if req.is_background:
-            bg = self.svc.background
-            if bg is not None:
-                return float(
-                    bg.sample_services(
-                        1, self.svc.mechanics, self.svc.spt, self.svc.rng
-                    )[0]
-                )
-            return 0.005
-        return float(self.svc.block_service_times(1, self.block_bytes)[0])
-
-    def submit_block(self, tag) -> DiskRequest:
-        sectors = max(1, self.block_bytes // SECTOR_BYTES)
-        return self.drive.submit(DiskRequest(lba=0, sectors=sectors, tag=tag))
-
-    def cancel(self, tag) -> int:
-        return self.drive.cancel(
-            lambda r: r.tag == tag and not r.is_background
-        )
-
-
-def _make_tracker(scheme: str, k: int, graph) -> CompletionTracker:
-    """The composition's completion tracker, built for the reference engine.
-
-    Dispatches through the scheme's completion policy: completions that
-    support the event-driven engine expose ``reference_tracker``; the rest
-    (grouped RS, parity reconstruction) are rejected.
-    """
-    spec = COMPOSITIONS.get(scheme)
-    build = getattr(spec.completion, "reference_tracker", None) if spec else None
-    if build is None:
-        raise ValueError(f"reference engine does not implement {scheme!r}")
-    return build(scheme, k, graph)
+from repro.accesscore.events import (  # noqa: F401  (re-exported: public API)
+    EventAccess as ReferenceAccess,
+    EventDrive as ReferenceDrive,
+    attach_faults,
+    build_drives,
+    event_read,
+    event_write,
+)
+from repro.accesscore.result import AccessResult
 
 
 def reference_read(
-    cluster: Cluster,
-    disk_ids,
-    placement: list[list[int]],
-    block_bytes: int,
-    scheme: str,
-    rng_for,
-    k: int,
-    graph=None,
-    n_clients: int = 1,
+    scheme, file_name: str, trial: int = 0, n_clients: int = 1
 ) -> ReferenceAccess:
-    """Run a speculative read fully event-driven.
+    """Run one read of ``file_name`` fully event-driven.
 
-    With ``n_clients > 1`` each client issues the same access shape over
-    the *same* drives (distinct trackers); contention emerges naturally
-    from the shared per-drive queues.  Returns the first client's metrics
-    plus every client's latency.
+    ``scheme`` is a policy-composed scheme object (any entry of
+    ``repro.core.SCHEMES`` / :data:`repro.core.policy.compose.COMPOSITIONS`);
+    the file must have been prepared or written first.  With
+    ``n_clients > 1`` every client issues the same access shape over the
+    same drives and contention emerges from the shared queues.
     """
-    env = Environment()
-    drives = {
-        int(d): ReferenceDrive(env, cluster, int(d), rng_for(int(d)), block_bytes)
-        for d in disk_ids
-    }
-    one_way = {
-        int(d): cluster.filer_of_disk(int(d)).link.one_way_s for d in disk_ids
-    }
-    results: dict[int, dict] = {}
-    transferred = {cid: 0 for cid in range(n_clients)}
+    return event_read(scheme, file_name, trial=trial, n_clients=n_clients)
 
-    def block_fetch(env, client_id, disk_id, block_id, inbox):
-        """One speculative block request: travel, queue, serve, respond."""
-        yield env.timeout(one_way[disk_id])
-        req = drives[disk_id].submit_block(tag=("c", client_id))
-        finished_at = yield req.done
-        if finished_at is None:
-            return  # cancelled while still queued
-        transferred[client_id] += 1
-        yield env.timeout(one_way[disk_id])
-        inbox.put((env.now, block_id))
 
-    def client(env, client_id):
-        tracker = _make_tracker(scheme, k, graph)
-        inbox = Store(env)
-        yield env.timeout(0.005)  # metadata access
-        total = 0
-        for idx, disk_id in enumerate(disk_ids):
-            for b in placement[idx]:
-                env.process(
-                    block_fetch(env, client_id, int(disk_id), int(b), inbox)
-                )
-                total += 1
-        received = 0
-        while received < total:
-            _, block_id = yield inbox.get()
-            received += 1
-            tracker.add(int(block_id))
-            if tracker.complete:
-                break
-        t_done = env.now + (
-            decode_tail_s(block_bytes) if scheme == "robustore" else 0.0
-        )
-        # Cancel whatever is still queued, one one-way latency out.
-        yield env.timeout(min(one_way.values()))
-        for d in drives.values():
-            d.cancel(("c", client_id))
-        results[client_id] = {"latency": t_done, "received": received}
+def reference_write(scheme, file_name: str, trial: int = 0) -> AccessResult:
+    """Run one write of ``file_name`` fully event-driven.
 
-    clients = [
-        env.process(client(env, cid), name=f"client-{cid}")
-        for cid in range(n_clients)
-    ]
-    # Background generators run forever; stop once every client finished.
-    env.run(until=env.all_of(clients))
-
-    first = results[0]
-    return ReferenceAccess(
-        latency_s=first["latency"],
-        blocks_received=first["received"],
-        network_bytes=transferred[0] * block_bytes,
-        per_client={cid: r["latency"] for cid, r in results.items()},
-    )
+    Registers the resulting file record on the scheme exactly like the
+    closed-form ``scheme.write`` — a subsequent read (either engine) will
+    replay the placement this write committed.
+    """
+    return event_write(scheme, file_name, trial=trial)

@@ -1,238 +1,22 @@
-"""Completion trackers: the stateful consumers behind every completion policy.
+"""Compatibility facade over :mod:`repro.accesscore.trackers`.
 
-A tracker eats block arrivals in time order and reports when the access
-can finish — all blocks (RAID-0), replica coverage (RRAID / RAID-0+1),
-LT decode (RobuSTore), grouped Reed-Solomon fill (RobuSTore-RS) or
-parity-stripe reconstruction (RAID-5).  Trackers are *per-access* mutable
-state; the stateless :mod:`repro.core.policy.completion` policies build a
-fresh one for every read, which is what keeps compositions trial-reentrant.
-
-``observe(t, block_id)`` is the pipeline's entry point: it defaults to
-:meth:`add` and exists so trackers that care about *when* progress happened
-(the grouped-RS decode pipeline) can record it without the consumption loop
-special-casing them.
+The completion trackers moved into the access-core package (both engines
+consume through them); this module re-exports every tracker under the
+original import path so existing imports keep working.  New code should
+import from :mod:`repro.accesscore.trackers` directly.
 """
 
 from __future__ import annotations
 
-from typing import Protocol
-
-import numpy as np
-
-#: Id offset distinguishing RAID-5 parity blocks from data blocks.
-PARITY_BASE = 1 << 20
-
-
-class CompletionTracker(Protocol):
-    """Consumes block arrivals; reports when the access can finish."""
-
-    def add(self, block_id: int) -> None: ...
-
-    @property
-    def complete(self) -> bool: ...
-
-
-class TrackerBase:
-    """Shared ``observe`` hook: by default the arrival time is irrelevant."""
-
-    def add(self, block_id: int) -> None:
-        raise NotImplementedError
-
-    def observe(self, t: float, block_id: int) -> None:
-        self.add(block_id)
-
-    @property
-    def complete(self) -> bool:
-        raise NotImplementedError
-
-
-def _consume_batch(
-    tracker, originals: np.ndarray, times: np.ndarray
-) -> tuple[float, int]:
-    """Vectorised equivalent of feeding ``originals`` one at a time.
-
-    ``originals`` maps each arrival to the original-block slot it covers
-    (identity for :class:`AllBlocksTracker`, ``id % k`` for
-    :class:`CoverageTracker`).  Finds the arrival at which the tracker's
-    distinct-slot count reaches ``k``, updates ``_have``/``_count`` to
-    exactly the state the scalar loop would leave (the loop stops at the
-    completing arrival), and returns ``(t_fill, consumed)`` —
-    ``(inf, len)`` when the batch never completes.
-    """
-    need = tracker.k - tracker._count
-    if need <= 0:
-        # Already complete before this batch.  The scalar loop still
-        # consumes (and reports completion at) the first arrival — a
-        # no-op for state, since every slot is already held.
-        if originals.size == 0:
-            return float("inf"), 0
-        return float(times[0]), 1
-    uniq, first = np.unique(originals, return_index=True)
-    fresh = first[~tracker._have[uniq]]
-    if fresh.size < need:
-        tracker._have[uniq] = True
-        tracker._count += int(fresh.size)
-        return float("inf"), int(originals.size)
-    # The need-th new slot (in arrival order) completes the access.
-    stop = int(np.partition(fresh, need - 1)[need - 1])
-    tracker._have[originals[: stop + 1]] = True
-    tracker._count = tracker.k
-    return float(times[stop]), stop + 1
-
-
-class AllBlocksTracker(TrackerBase):
-    """RAID-0: every distinct block must arrive."""
-
-    def __init__(self, k: int) -> None:
-        self.k = k
-        self._have = np.zeros(k, dtype=bool)
-        self._count = 0
-
-    def add(self, block_id: int) -> None:
-        if not self._have[block_id]:
-            self._have[block_id] = True
-            self._count += 1
-
-    def consume_arrivals(self, times: np.ndarray, ids: np.ndarray) -> tuple[float, int]:
-        """Batched arrival consumption; see :func:`_consume_batch`."""
-        return _consume_batch(self, ids, times)
-
-    @property
-    def complete(self) -> bool:
-        return self._count >= self.k
-
-
-class CoverageTracker(TrackerBase):
-    """RRAID: at least one replica of every original block (id = r*K + i)."""
-
-    def __init__(self, k: int) -> None:
-        self.k = k
-        self._have = np.zeros(k, dtype=bool)
-        self._count = 0
-
-    def add(self, block_id: int) -> None:
-        orig = block_id % self.k
-        if not self._have[orig]:
-            self._have[orig] = True
-            self._count += 1
-
-    def consume_arrivals(self, times: np.ndarray, ids: np.ndarray) -> tuple[float, int]:
-        """Batched arrival consumption; see :func:`_consume_batch`."""
-        return _consume_batch(self, ids % self.k, times)
-
-    @property
-    def complete(self) -> bool:
-        return self._count >= self.k
-
-
-class DecoderTracker(TrackerBase):
-    """RobuSTore: the incremental LT peeling decoder."""
-
-    def __init__(self, decoder) -> None:
-        self.decoder = decoder
-
-    def add(self, block_id: int) -> None:
-        self.decoder.add(block_id)
-
-    def consume_arrivals(self, times: np.ndarray, ids: np.ndarray) -> tuple[float, int]:
-        """Batched arrival consumption: the scalar loop, fused in-tracker.
-
-        The decoder does identical work either way; fusing skips one
-        observe/complete dispatch pair per arrival and iterates native
-        ints instead of numpy scalars.  Same ``(t_fill, consumed)``
-        contract as :func:`_consume_batch`.
-        """
-        decoder = self.decoder
-        add = decoder.add
-        for consumed, bid in enumerate(ids.tolist(), start=1):
-            add(bid)
-            if decoder.is_complete:
-                return float(times[consumed - 1]), consumed
-        return float("inf"), int(ids.size)
-
-    @property
-    def complete(self) -> bool:
-        return self.decoder.is_complete
-
-
-class GroupedRSTracker(TrackerBase):
-    """Complete when every RS group holds >= group_size distinct blocks.
-
-    ``observe`` additionally records *when* each group filled
-    (``fill_times``), which the grouped-RS completion policy turns into the
-    pipelined per-group decode schedule.
-    """
-
-    def __init__(self, n_groups: int, group_size: int) -> None:
-        self.group_size = group_size
-        self._counts = np.zeros(n_groups, dtype=np.int64)
-        self._filled = 0
-        self._seen: set[int] = set()
-        self.n_groups = n_groups
-        self.fill_times: list[float] = []
-
-    def add(self, block_id: int) -> None:
-        if block_id in self._seen:
-            return
-        self._seen.add(block_id)
-        g = block_id >> 20  # group packed in the high bits
-        if self._counts[g] < self.group_size:
-            self._counts[g] += 1
-            if self._counts[g] == self.group_size:
-                self._filled += 1
-
-    def observe(self, t: float, block_id: int) -> None:
-        before = self._filled
-        self.add(block_id)
-        if self._filled > before:
-            self.fill_times.extend([t] * (self._filled - before))
-
-    @property
-    def complete(self) -> bool:
-        return self._filled >= self.n_groups
-
-
-class ParityStripeTracker(TrackerBase):
-    """RAID-5: data blocks arrive directly or via stripe reconstruction."""
-
-    def __init__(self, k: int, stripes: list, failed_pos) -> None:
-        self.k = k
-        self._have = np.zeros(k, dtype=bool)
-        self._count = 0
-        self._failed_pos = failed_pos
-        # For each stripe with a lost block: remaining pieces to XOR.
-        self._stripe_need: dict[int, set] = {}
-        self._lost_block: dict[int, int] = {}
-        if failed_pos is not None:
-            for stripe in stripes:
-                lost = [b for b, d in stripe["data"] if d == failed_pos]
-                if lost:
-                    sid = stripe["id"]
-                    self._lost_block[sid] = lost[0]
-                    self._stripe_need[sid] = {
-                        b for b, d in stripe["data"] if d != failed_pos
-                    } | {PARITY_BASE + sid}
-        self._by_member: dict[int, list[int]] = {}
-        for sid, members in self._stripe_need.items():
-            for m in members:
-                self._by_member.setdefault(m, []).append(sid)
-
-    def add(self, block_id: int) -> None:
-        if block_id < PARITY_BASE and not self._have[block_id]:
-            self._have[block_id] = True
-            self._count += 1
-        for sid in self._by_member.get(block_id, []):
-            need = self._stripe_need.get(sid)
-            if need is None:
-                continue
-            need.discard(block_id)
-            if not need:
-                del self._stripe_need[sid]
-                lost = self._lost_block[sid]
-                if not self._have[lost]:
-                    self._have[lost] = True
-                    self._count += 1
-
-    @property
-    def complete(self) -> bool:
-        return self._count >= self.k
+from repro.accesscore.trackers import (  # noqa: F401
+    PARITY_BASE,
+    AllBlocksTracker,
+    CompletionTracker,
+    CoverageTracker,
+    DecodableCommit,
+    DecoderTracker,
+    GroupedRSTracker,
+    ParityStripeTracker,
+    TrackerBase,
+    _consume_batch,
+)

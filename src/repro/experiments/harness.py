@@ -94,12 +94,31 @@ class TrialPlan:
         raise ValueError(f"unknown background mode {self.background!r}")
 
 
+def _engine_read(scheme, name: str, trial: int, engine: str) -> AccessResult:
+    if engine == "event":
+        from repro.core.reference import reference_read
+
+        return reference_read(scheme, name, trial=trial).result
+    return scheme.read(name, trial)
+
+
+def _engine_write(scheme, name: str, trial: int, engine: str) -> AccessResult:
+    if engine == "event":
+        from repro.core.reference import reference_write
+
+        return reference_write(scheme, name, trial=trial)
+    return scheme.write(name, trial)
+
+
 def _run_trial(plan: TrialPlan, scheme, cluster: Cluster, hub: RngHub,
-               scheme_name: str, trial: int) -> AccessResult:
+               scheme_name: str, trial: int, engine: str = "closed") -> AccessResult:
     """One trial: redraw the environment, run the scheme's access(es).
 
     Identical between the traced and untraced paths, so installing a tracer
     never changes simulation results (the RNG stream is untouched).
+    ``engine`` selects the closed-form evaluator (``"closed"``) or the
+    event-driven reference engine (``"event"``) — same environment redraw,
+    same fault plan, same policy layer.
     """
     env_rng = hub.fresh("env", scheme_name, trial)
     failed = (
@@ -130,11 +149,11 @@ def _run_trial(plan: TrialPlan, scheme, cluster: Cluster, hub: RngHub,
     name = f"f-{scheme_name}-{trial}"
     if plan.mode == "read":
         scheme.prepare(name, trial)
-        return scheme.read(name, trial)
+        return _engine_read(scheme, name, trial, engine)
     elif plan.mode == "write":
-        return scheme.write(name, trial)
+        return _engine_write(scheme, name, trial, engine)
     elif plan.mode == "raw":
-        scheme.write(name, trial)
+        _engine_write(scheme, name, trial, engine)
         env_rng2 = hub.fresh("env2", scheme_name, trial)
         cluster.redraw_disk_states(
             env_rng2,
@@ -145,7 +164,7 @@ def _run_trial(plan: TrialPlan, scheme, cluster: Cluster, hub: RngHub,
         # Competing traffic between the write and the later read ages
         # the shared filesystem caches (§6.3.3).
         cluster.age_caches(plan.cache_aging_window_s)
-        return scheme.read(name, trial)
+        return _engine_read(scheme, name, trial, engine)
     raise ValueError(f"unknown mode {plan.mode!r}")
 
 
@@ -155,7 +174,7 @@ TRACE_TRIAL_GAP_S = 0.05
 
 
 def run_scheme(
-    plan: TrialPlan, scheme_name: str, tracer=None
+    plan: TrialPlan, scheme_name: str, tracer=None, engine: str = "closed"
 ) -> list[AccessResult]:
     """Run all trials of one scheme under ``plan``.
 
@@ -165,7 +184,13 @@ def run_scheme(
     trial's events land at a distinct place on one global simulated
     timeline — and the kernel's own process/event instrumentation appears
     in the trace alongside drive, filer and scheme spans.
+
+    ``engine="event"`` runs every access on the event-driven reference
+    engine instead of the closed form — same trial structure, same
+    environment redraws, different clock.
     """
+    if engine not in ("closed", "event"):
+        raise ValueError(f"unknown engine {engine!r}")
     cls = scheme_class(scheme_name)  # raises ValueError for unknown names
     tracer = tracer if tracer is not None else current_tracer()
     access = plan.access
@@ -186,7 +211,9 @@ def run_scheme(
 
     if not tracer.enabled:
         for trial in range(plan.trials):
-            results.append(_run_trial(plan, scheme, cluster, hub, scheme_name, trial))
+            results.append(
+                _run_trial(plan, scheme, cluster, hub, scheme_name, trial, engine)
+            )
         return results
 
     # Traced run: a DES driver process advances the virtual clock past each
@@ -200,7 +227,9 @@ def run_scheme(
     def one_trial(trial: int):
         tracer.offset = base + env.now
         try:
-            result = _run_trial(plan, scheme, cluster, hub, scheme_name, trial)
+            result = _run_trial(
+                plan, scheme, cluster, hub, scheme_name, trial, engine
+            )
         finally:
             tracer.offset = base
         results.append(result)

@@ -39,9 +39,12 @@ from typing import Iterable, Iterator, Optional
 from repro.lint.engine import FileContext
 
 #: Packages whose functions must stay transitively deterministic: the
-#: DES kernel and data path (``core``/``disk``/``cluster``/``sim``) plus
-#: the payload-hash-caching layers (``exec``/``serve``).
-SIM_CRITICAL_PACKAGES = ("core", "disk", "cluster", "sim", "exec", "serve")
+#: DES kernel and data path (``core``/``accesscore``/``disk``/
+#: ``cluster``/``sim``) plus the payload-hash-caching layers
+#: (``exec``/``serve``).
+SIM_CRITICAL_PACKAGES = (
+    "core", "accesscore", "disk", "cluster", "sim", "exec", "serve"
+)
 
 
 def module_name_for(path: Path) -> Optional[str]:

@@ -311,17 +311,7 @@ def closed_loop_point(
         hub = RngHub(seed + trial)
         scheme = SCHEMES[scheme_name](cluster, cfg, hub=hub)
         cluster.redraw_disk_states(hub.fresh("env", trial))
-        record = scheme.prepare("f", trial)
-        ref = reference_read(
-            cluster,
-            record.disk_ids,
-            record.placement,
-            cfg.block_bytes,
-            scheme_name,
-            lambda d: hub.fresh("svc", trial, d),
-            k=cfg.k,
-            graph=record.extra.get("graph"),
-            n_clients=n_clients,
-        )
+        scheme.prepare("f", trial)
+        ref = reference_read(scheme, "f", trial=trial, n_clients=n_clients)
         lats.extend(float(v) for v in ref.per_client.values())
     return lats

@@ -89,6 +89,7 @@ STREAMS = {
     "faults": 3,          #: MTTF/MTTR fault-storm draws (harness)
     "select": 3,          #: scheme disk selection (core.base)
     "svc": (3, 5),        #: per-disk service draws (serve replay / core.base)
+    "refsvc": 4,          #: event-engine per-disk service draws (core.base)
     "bgphase": 5,         #: background-stream initial phase draws (core.base)
     "cal-env": 3,         #: serving calibration environments
     "repair-extend": 3,   #: repair-time redundancy extension draws

@@ -159,6 +159,42 @@ def test_sim010_entropy_kind_and_method_chains(tmp_path):
     assert "uuid.uuid4()" in finding.message
 
 
+def test_sim010_covers_accesscore(tmp_path):
+    """The shared access core is sim-critical: laundered wall clock trips."""
+    _write_tree(
+        tmp_path,
+        {
+            "src/repro/__init__.py": "",
+            "src/repro/accesscore/__init__.py": "",
+            "src/repro/util/__init__.py": "",
+            "src/repro/util/helpers.py": (
+                "import time\n"
+                "\n"
+                "\n"
+                "def _now():\n"
+                "    return time.time()\n"
+                "\n"
+                "\n"
+                "def stamp():\n"
+                "    return _now()\n"
+            ),
+            "src/repro/accesscore/events.py": (
+                "from repro.util.helpers import stamp\n"
+                "\n"
+                "\n"
+                "def event_read():\n"
+                "    return stamp()\n"
+            ),
+        },
+    )
+    findings = lint_paths(
+        [tmp_path / "src" / "repro" / "accesscore"], ["SIM010"]
+    )
+    (finding,) = findings
+    assert finding.path.endswith("accesscore/events.py")
+    assert "events.event_read -> helpers.stamp -> helpers._now" in finding.message
+
+
 # ---------------------------------------------------------------------------
 # SIM011 — RngHub stream discipline
 
@@ -223,6 +259,42 @@ def test_sim011_accepts_declared_names_and_arities(tmp_path):
         [tmp_path / "src" / "repro" / "core" / "streams.py"], ["SIM011"]
     )
     assert findings == []
+
+
+def test_sim011_covers_accesscore_refsvc_stream(tmp_path):
+    """The event engine's ``refsvc`` stream obeys the declared arity."""
+    _write_tree(
+        tmp_path,
+        {
+            "src/repro/__init__.py": "",
+            "src/repro/sim/__init__.py": "",
+            "src/repro/sim/rng.py": (
+                "STREAMS = {\n"
+                "    'refsvc': 4,\n"
+                "}\n"
+                "\n"
+                "\n"
+                "class RngHub:\n"
+                "    def fresh(self, *key):\n"
+                "        return key\n"
+            ),
+            "src/repro/accesscore/__init__.py": "",
+            "src/repro/accesscore/events.py": (
+                "def rngs(hub, name, trial, disk_id):\n"
+                "    ok = hub.fresh('refsvc', name, trial, disk_id)\n"
+                "    short = hub.fresh('refsvc', disk_id)\n"
+                "    typo = hub.fresh('refsrv', name, trial, disk_id)\n"
+                "    return ok, short, typo\n"
+            ),
+        },
+    )
+    findings = lint_paths(
+        [tmp_path / "src" / "repro" / "accesscore" / "events.py"], ["SIM011"]
+    )
+    messages = [f.message for f in findings]
+    assert len(findings) == 2
+    assert any("has 2 part(s)" in m for m in messages)
+    assert any("unknown stream name 'refsrv'" in m for m in messages)
 
 
 def test_sim011_silent_without_a_streams_registry(tmp_path):
