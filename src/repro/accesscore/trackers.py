@@ -199,6 +199,54 @@ class GroupedRSTracker(TrackerBase):
         return self._filled >= self.n_groups
 
 
+class RegenStripeTracker(TrackerBase):
+    """Regenerating layout: every stripe needs ``k`` *complete* nodes.
+
+    Block id ``(stripe << 20) | (node * alpha + sub)``; a node counts only
+    once all ``alpha`` of its coded blocks arrived (the product-matrix
+    decoder consumes whole node vectors), and a stripe fills at ``k``
+    complete nodes.  ``observe`` records stripe fill times for the
+    pipelined per-stripe decode, mirroring :class:`GroupedRSTracker`.
+    """
+
+    def __init__(
+        self, n_stripes: int, nodes: int, k: int, alpha: int, d: int | None = None
+    ) -> None:
+        self.n_stripes = n_stripes
+        self.nodes = nodes
+        self.k = k
+        self.alpha = alpha
+        self.d = nodes - 1 if d is None else d
+        self._seen: set[int] = set()
+        self._sub_counts = np.zeros((n_stripes, nodes), dtype=np.int64)
+        self._nodes_done = np.zeros(n_stripes, dtype=np.int64)
+        self._filled = 0
+        self.fill_times: list[float] = []
+
+    def add(self, block_id: int) -> None:
+        if block_id in self._seen:
+            return
+        self._seen.add(block_id)
+        s = block_id >> 20
+        node = (block_id & 0xFFFFF) // self.alpha
+        self._sub_counts[s, node] += 1
+        if self._sub_counts[s, node] == self.alpha:
+            if self._nodes_done[s] < self.k:
+                self._nodes_done[s] += 1
+                if self._nodes_done[s] == self.k:
+                    self._filled += 1
+
+    def observe(self, t: float, block_id: int) -> None:
+        before = self._filled
+        self.add(block_id)
+        if self._filled > before:
+            self.fill_times.extend([t] * (self._filled - before))
+
+    @property
+    def complete(self) -> bool:
+        return self._filled >= self.n_stripes
+
+
 class ParityStripeTracker(TrackerBase):
     """RAID-5: data blocks arrive directly or via stripe reconstruction."""
 

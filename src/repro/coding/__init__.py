@@ -13,12 +13,21 @@ Implements every code discussed in the dissertation:
   near-optimal LDPC codes surveyed in §2.2.3.
 * :mod:`repro.coding.peeling` — the incremental belief-propagation decoder.
 * :mod:`repro.coding.analysis` — Appendix A closed-form reassembly analysis.
+* :mod:`repro.coding.regenerating` — exact product-matrix regenerating
+  codes at the MSR/MBR points of the storage–repair-bandwidth tradeoff.
 """
 
 from repro.coding.lt import ImprovedLTCode, LTCode, LTGraph
 from repro.coding.parity import ParityCode
 from repro.coding.peeling import PeelingDecoder
 from repro.coding.reed_solomon import ReedSolomonCode
+from repro.coding.regenerating import (
+    ProductMatrixMBR,
+    ProductMatrixMSR,
+    mbr_point,
+    msr_point,
+    product_matrix_code,
+)
 from repro.coding.replication import ReplicationCode
 from repro.coding.soliton import ideal_soliton, robust_soliton
 
@@ -28,8 +37,13 @@ __all__ = [
     "LTGraph",
     "ParityCode",
     "PeelingDecoder",
+    "ProductMatrixMBR",
+    "ProductMatrixMSR",
     "ReedSolomonCode",
     "ReplicationCode",
     "ideal_soliton",
+    "mbr_point",
+    "msr_point",
+    "product_matrix_code",
     "robust_soliton",
 ]

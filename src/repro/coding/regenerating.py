@@ -1,0 +1,340 @@
+"""Regenerating codes: the MSR/MBR points of the storage–repair tradeoff.
+
+Dimakis et al. (PAPERS.md) showed that erasure-coded storage does not have
+to read a whole object's worth of data to replace one lost node: codes on
+the *minimum-storage* (MSR) and *minimum-bandwidth* (MBR) points of the
+storage–repair-bandwidth tradeoff repair a node by moving ``d * beta``
+symbols from ``d`` helpers — strictly less than the ``k * alpha`` an MDS
+whole-object reconstruction transfers.  This module implements both
+points with the exact product-matrix construction of Rashmi, Shah &
+Kumar (2011) over the same GF(256) arithmetic the Reed-Solomon baseline
+uses:
+
+* :class:`ProductMatrixMBR` — any ``d >= k``; ``alpha = d``, ``beta = 1``,
+  ``B = k*d - k*(k-1)/2`` message symbols per stripe.  Repair moves only
+  ``d`` symbols for a node storing ``d`` — minimum bandwidth, at the cost
+  of storing more than ``B/k`` per node.
+* :class:`ProductMatrixMSR` — ``d = 2k - 2``; ``alpha = k - 1``,
+  ``beta = 1``, ``B = k*(k-1)``.  Per-node storage equals the MDS optimum
+  ``B/k``, so the storage overhead matches an ``(n, k)`` Reed-Solomon
+  code, while repair moves ``d = 2(k-1)`` symbols instead of ``B = k(k-1)``.
+
+Both codes are *exact*: repair regenerates bit-identically the symbols
+the failed node stored, and any ``k`` nodes decode the original message.
+Symbols are byte vectors (whole simulator blocks); all linear algebra is
+per byte position, vectorised through :func:`repro.coding.gf256.gf_matmul`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coding.gf256 import MUL, gf_mat_inv, gf_matmul, gf_pow
+
+
+def mbr_point(file_symbols: int, k: int, d: int) -> tuple[float, float]:
+    """Theoretical MBR point: (per-node storage, repair bandwidth).
+
+    Both in symbols, for a file of ``file_symbols``; at MBR the repair
+    bandwidth *equals* the per-node storage (nothing stored is redundant
+    to a repair).
+    """
+    alpha = 2.0 * file_symbols * d / (k * (2 * d - k + 1))
+    return alpha, alpha
+
+
+def msr_point(file_symbols: int, k: int, d: int) -> tuple[float, float]:
+    """Theoretical MSR point: (per-node storage, repair bandwidth)."""
+    alpha = file_symbols / k
+    gamma = file_symbols * d / (k * (d - k + 1))
+    return alpha, gamma
+
+
+def _mm(A: np.ndarray, T: np.ndarray) -> np.ndarray:
+    """Left-multiply tensor ``T`` (first axis contracted) by scalar matrix ``A``."""
+    out_shape = (A.shape[0],) + T.shape[1:]
+    if 0 in out_shape or A.shape[1] == 0:
+        # Degenerate block (e.g. MBR at d == k has an empty S2): the GF
+        # kernel rejects zero-size operands, but the product is just zeros.
+        return np.zeros(out_shape, dtype=np.uint8)
+    flat = T.reshape(T.shape[0], -1)
+    return gf_matmul(A, flat).reshape(out_shape)
+
+
+def _mm_right(T: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Right-multiply tensor ``T`` (second axis contracted) by scalar ``B``."""
+    swapped = _mm(B.T, T.swapaxes(0, 1))
+    return swapped.swapaxes(0, 1)
+
+
+def _tdot(vec: np.ndarray, T: np.ndarray) -> np.ndarray:
+    """GF inner product of scalar ``vec`` with tensor ``T`` along axis 0."""
+    return _mm(vec.reshape(1, -1), T)[0]
+
+
+class _ProductMatrixBase:
+    """Shared geometry and parameter validation for the two PM codes."""
+
+    mode: str
+
+    def __init__(self, k: int, d: int, n: int) -> None:
+        if k < 2:
+            raise ValueError("product-matrix codes need k >= 2")
+        if d < k:
+            raise ValueError("repair degree d must be >= k")
+        if n <= d:
+            raise ValueError("need n > d so d helpers survive one failure")
+        if n > 255:
+            raise ValueError("GF(256) supports at most 255 nodes")
+        self.k = int(k)
+        self.d = int(d)
+        self.n = int(n)
+
+    # -- symmetric-matrix packing ---------------------------------------------
+    @staticmethod
+    def _upper_count(m: int) -> int:
+        return m * (m + 1) // 2
+
+    @staticmethod
+    def _fill_symmetric(m: int, symbols: np.ndarray, start: int) -> tuple[np.ndarray, int]:
+        """Pack ``m*(m+1)/2`` symbols into an (m, m, L) symmetric tensor."""
+        L = symbols.shape[1]
+        out = np.zeros((m, m, L), dtype=np.uint8)
+        idx = start
+        for i in range(m):
+            for j in range(i, m):
+                out[i, j] = symbols[idx]
+                out[j, i] = symbols[idx]
+                idx += 1
+        return out, idx
+
+    @staticmethod
+    def _read_symmetric(S: np.ndarray) -> list[np.ndarray]:
+        m = S.shape[0]
+        return [S[i, j] for i in range(m) for j in range(i, m)]
+
+    def _check_message(self, message: np.ndarray) -> np.ndarray:
+        message = np.asarray(message, dtype=np.uint8)
+        if message.ndim != 2 or message.shape[0] != self.B:
+            raise ValueError(
+                f"message must be ({self.B}, L); got {message.shape}"
+            )
+        return message
+
+    def _helper_matrix(self, helper_ids) -> np.ndarray:
+        helper_ids = [int(h) for h in helper_ids]
+        if len(set(helper_ids)) != self.d:
+            raise ValueError(f"repair needs exactly d={self.d} distinct helpers")
+        return gf_mat_inv(self.psi[helper_ids, :])
+
+
+class ProductMatrixMBR(_ProductMatrixBase):
+    """Exact product-matrix MBR code (Rashmi-Shah-Kumar §IV).
+
+    Message matrix ``M`` is ``d x d`` symmetric::
+
+        M = [[S1, S2], [S2^T, 0]]
+
+    with ``S1`` a ``k x k`` symmetric block and ``S2`` a ``k x (d-k)``
+    block, carrying ``B = k*d - k*(k-1)/2`` symbols.  Node ``i`` stores
+    ``psi_i^T M`` (``alpha = d`` symbols) for Vandermonde rows ``psi_i``.
+    """
+
+    mode = "mbr"
+
+    def __init__(self, k: int, d: int, n: int) -> None:
+        super().__init__(k, d, n)
+        self.alpha = self.d
+        self.beta = 1
+        self.B = self.k * self.d - self._upper_count(self.k - 1)
+        # psi_i = (1, x_i, x_i^2, ..., x_i^(d-1)) with distinct x_i: any d
+        # rows of Psi (and any k rows of its first k columns) invertible.
+        xs = np.arange(1, self.n + 1, dtype=np.uint8)
+        self.psi = np.stack(
+            [np.array([gf_pow(int(x), j) for j in range(self.d)], np.uint8) for x in xs]
+        )
+
+    def _message_matrix(self, message: np.ndarray) -> np.ndarray:
+        message = self._check_message(message)
+        k, d, L = self.k, self.d, message.shape[1]
+        M = np.zeros((d, d, L), dtype=np.uint8)
+        S1, idx = self._fill_symmetric(k, message, 0)
+        M[:k, :k] = S1
+        for i in range(k):
+            for j in range(d - k):
+                M[i, k + j] = message[idx]
+                M[k + j, i] = message[idx]
+                idx += 1
+        return M
+
+    def encode(self, message: np.ndarray) -> np.ndarray:
+        """All node contents, shape ``(n, alpha, L)``."""
+        return _mm(self.psi, self._message_matrix(message))
+
+    def node_content(self, node_id: int, message: np.ndarray) -> np.ndarray:
+        return self.encode(message)[int(node_id)]
+
+    def decode(self, node_ids, contents: np.ndarray) -> np.ndarray:
+        """Original ``(B, L)`` message from any ``k`` node contents."""
+        node_ids = [int(i) for i in node_ids]
+        if len(set(node_ids)) != self.k:
+            raise ValueError(f"decode needs exactly k={self.k} distinct nodes")
+        R = np.asarray(contents, dtype=np.uint8)
+        k = self.k
+        phi_inv = gf_mat_inv(self.psi[node_ids, :k])
+        delta = self.psi[node_ids, k:]
+        # Second chunk: R[:, k:] = Phi S2.
+        S2 = _mm(phi_inv, R[:, k:])
+        # First chunk: R[:, :k] = Phi S1 + Delta S2^T.
+        S1 = _mm(phi_inv, R[:, :k] ^ _mm(delta, S2.swapaxes(0, 1)))
+        symbols = self._read_symmetric(S1)
+        symbols.extend(S2[i, j] for i in range(k) for j in range(self.d - k))
+        return np.stack(symbols)
+
+    def helper_symbol(
+        self, helper_content: np.ndarray, failed_id: int
+    ) -> np.ndarray:
+        """The ``beta = 1`` symbol one helper sends for a repair."""
+        return _tdot(self.psi[int(failed_id)], np.asarray(helper_content, np.uint8))
+
+    def repair(self, failed_id: int, helper_ids, symbols: np.ndarray) -> np.ndarray:
+        """Rebuild node ``failed_id`` from ``d`` helper symbols, exactly."""
+        stacked = np.asarray(symbols, dtype=np.uint8)  # (d, L) = Psi_H M psi_f
+        m_psi = _mm(self._helper_matrix(helper_ids), stacked)  # M psi_f
+        # M is symmetric, so the lost content psi_f^T M is (M psi_f)^T.
+        return m_psi
+
+
+class ProductMatrixMSR(_ProductMatrixBase):
+    """Exact product-matrix MSR code at ``d = 2k - 2`` (Rashmi-Shah-Kumar §V).
+
+    Message matrix ``M = [[S1], [S2]]`` stacks two symmetric
+    ``(k-1) x (k-1)`` blocks (``B = k*(k-1)`` symbols); the encoding
+    matrix is ``Psi = [Phi | Lambda Phi]`` with Vandermonde ``Phi`` and
+    ``lambda_i = x_i^(k-1)`` all distinct.  Per-node storage is the MDS
+    optimum ``alpha = B/k = k-1``.
+    """
+
+    mode = "msr"
+
+    def __init__(self, k: int, n: int, d: int | None = None) -> None:
+        d = 2 * k - 2 if d is None else int(d)
+        if d != 2 * k - 2:
+            raise ValueError("the product-matrix MSR construction needs d = 2k-2")
+        super().__init__(k, d, n)
+        self.alpha = self.k - 1
+        self.beta = 1
+        self.B = self.k * (self.k - 1)
+        # Greedily pick x_i keeping lambda_i = x_i^(k-1) distinct (powers
+        # of a non-coprime exponent can collide in GF(256)*).
+        xs: list[int] = []
+        lams: set[int] = set()
+        for cand in range(1, 256):
+            lam = gf_pow(cand, self.k - 1)
+            if lam in lams:
+                continue
+            xs.append(cand)
+            lams.add(lam)
+            if len(xs) == self.n:
+                break
+        if len(xs) < self.n:
+            raise ValueError(
+                f"GF(256) admits only {len(xs)} nodes at k={self.k} (asked {self.n})"
+            )
+        self.lam = np.array([gf_pow(x, self.k - 1) for x in xs], np.uint8)
+        self.phi = np.stack(
+            [
+                np.array([gf_pow(x, j) for j in range(self.alpha)], np.uint8)
+                for x in xs
+            ]
+        )
+        # psi_i = (phi_i | lambda_i * phi_i) = (1, x, ..., x^(d-1)).
+        self.psi = np.concatenate([self.phi, MUL[self.lam[:, None], self.phi]], axis=1)
+
+    def _message_matrix(self, message: np.ndarray) -> np.ndarray:
+        message = self._check_message(message)
+        a = self.alpha
+        S1, idx = self._fill_symmetric(a, message, 0)
+        S2, _ = self._fill_symmetric(a, message, idx)
+        return np.concatenate([S1, S2], axis=0)
+
+    def encode(self, message: np.ndarray) -> np.ndarray:
+        """All node contents, shape ``(n, alpha, L)``."""
+        return _mm(self.psi, self._message_matrix(message))
+
+    def node_content(self, node_id: int, message: np.ndarray) -> np.ndarray:
+        return self.encode(message)[int(node_id)]
+
+    def decode(self, node_ids, contents: np.ndarray) -> np.ndarray:
+        """Original ``(B, L)`` message from any ``k`` node contents."""
+        node_ids = [int(i) for i in node_ids]
+        if len(set(node_ids)) != self.k:
+            raise ValueError(f"decode needs exactly k={self.k} distinct nodes")
+        R = np.asarray(contents, dtype=np.uint8)
+        k, a, L = self.k, self.alpha, R.shape[2]
+        phi = self.phi[node_ids]          # (k, a)
+        lam = self.lam[node_ids]          # (k,)
+        # C[i, j] = row_i . phi_j = P_ij ^ lam_i Q_ij, with P = Phi S1 Phi^T
+        # and Q = Phi S2 Phi^T both symmetric.
+        C = _mm_right(R, phi.T)           # (k, k, L)
+        P = np.zeros((k, k, L), np.uint8)
+        Q = np.zeros((k, k, L), np.uint8)
+        for i in range(k):
+            for j in range(i + 1, k):
+                dl = int(lam[i]) ^ int(lam[j])
+                q = MUL[int(gf_mat_inv(np.array([[dl]], np.uint8))[0, 0]), C[i, j] ^ C[j, i]]
+                Q[i, j] = q
+                Q[j, i] = q
+                P[i, j] = C[i, j] ^ MUL[int(lam[i]), q]
+                P[j, i] = P[i, j]
+        # Per node i, the off-diagonal rows give Phi_{-i} (S? phi_i): solve
+        # the (k-1) x (k-1) Vandermonde system for S1 phi_i and S2 phi_i.
+        U = np.zeros((a, k, L), np.uint8)  # columns: S1 phi_i
+        V = np.zeros((a, k, L), np.uint8)  # columns: S2 phi_i
+        for i in range(k):
+            others = [j for j in range(k) if j != i]
+            A_inv = gf_mat_inv(phi[others])
+            U[:, i] = _mm(A_inv, P[others, i])
+            V[:, i] = _mm(A_inv, Q[others, i])
+        # S? [phi_{i1} ... phi_{ia}] = [v_{i1} ... v_{ia}] for any a of the
+        # k columns: right-multiply by the inverse of Phi_sub^T.
+        sub_inv = gf_mat_inv(phi[:a].T)
+        S1 = _mm_right(U[:, :a], sub_inv)
+        S2 = _mm_right(V[:, :a], sub_inv)
+        return np.stack(self._read_symmetric(S1) + self._read_symmetric(S2))
+
+    def helper_symbol(
+        self, helper_content: np.ndarray, failed_id: int
+    ) -> np.ndarray:
+        """The ``beta = 1`` symbol one helper sends: ``psi_h^T M phi_f``."""
+        return _tdot(self.phi[int(failed_id)], np.asarray(helper_content, np.uint8))
+
+    def repair(self, failed_id: int, helper_ids, symbols: np.ndarray) -> np.ndarray:
+        """Rebuild node ``failed_id`` from ``d`` helper symbols, exactly."""
+        f = int(failed_id)
+        stacked = np.asarray(symbols, dtype=np.uint8)      # Psi_H M phi_f
+        m_phi = _mm(self._helper_matrix(helper_ids), stacked)  # (d, L) = [S1 phi_f; S2 phi_f]
+        s1_phi = m_phi[: self.alpha]
+        s2_phi = m_phi[self.alpha:]
+        # Lost content: phi_f^T S1 + lam_f phi_f^T S2 = (S1 phi_f)^T + lam_f (S2 phi_f)^T.
+        return s1_phi ^ MUL[int(self.lam[f]), s2_phi]
+
+
+#: Construction memo: the Vandermonde/Phi matrices depend only on the
+#: parameters, so schemes and repair passes share one instance per shape.
+_CODE_MEMO: dict[tuple[str, int, int, int], _ProductMatrixBase] = {}
+
+
+def product_matrix_code(mode: str, k: int, d: int, n: int) -> _ProductMatrixBase:
+    """Shared :class:`ProductMatrixMSR` / :class:`ProductMatrixMBR` instance."""
+    key = (mode, int(k), int(d), int(n))
+    code = _CODE_MEMO.get(key)
+    if code is None:
+        if mode == "msr":
+            code = ProductMatrixMSR(k, n, d=d)
+        elif mode == "mbr":
+            code = ProductMatrixMBR(k, d, n)
+        else:
+            raise ValueError(f"unknown regenerating mode {mode!r}")
+        _CODE_MEMO[key] = code
+    return code

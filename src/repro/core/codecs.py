@@ -16,6 +16,7 @@ from repro.cluster.metadata import FileRecord
 from repro.coding.parallel import coding_threads, parallel_encode_ids, parallel_group_map
 from repro.coding.peeling import PeelingDecoder
 from repro.coding.reed_solomon import ReedSolomonCode
+from repro.coding.regenerating import product_matrix_code
 from repro.core.access import AccessConfig
 
 
@@ -154,6 +155,80 @@ class RSGroupCodec:
         return out
 
 
+class RegenCodec:
+    """Regenerating stripes: product-matrix encode, decode from any k nodes.
+
+    Id ``(stripe << 20) | (node * alpha + sub)``; decode gathers the first
+    k nodes per stripe whose ``alpha`` coded blocks all arrived (the
+    timing tracker's completion rule, replayed on real bytes).
+    """
+
+    def _code(self, record):
+        c = record.coding
+        return product_matrix_code(c["mode"], c["k"], c["d"], c["nodes"]), c
+
+    def encode(self, blocks, record, cfg):
+        code, c = self._code(record)
+        B, alpha, n_stripes = c["stripe_symbols"], c["alpha"], c["stripes"]
+
+        def encode_stripe(s: int) -> np.ndarray:
+            seg = blocks[s * B : (s + 1) * B]
+            if seg.shape[0] < B:
+                pad = np.zeros((B - seg.shape[0], blocks.shape[1]), np.uint8)
+                seg = np.vstack([seg, pad])
+            return code.encode(seg)  # (n, alpha, L)
+
+        # Stripes are independent: REPRO_CODING_THREADS shards them,
+        # byte-identically to the sequential loop.
+        encoded = parallel_group_map(encode_stripe, n_stripes)
+        out = {}
+        for s, enc in enumerate(encoded):
+            for j in range(c["nodes"]):
+                for a in range(alpha):
+                    out[(s << 20) | (j * alpha + a)] = enc[j, a]
+        return {bid: out[bid] for p in record.placement for bid in p}
+
+    def decode(self, arrival_order, payloads, record, cfg):
+        code, c = self._code(record)
+        B, alpha, k = c["stripe_symbols"], c["alpha"], c["k"]
+        n_stripes = c["stripes"]
+        # First k nodes per stripe with all alpha sub-blocks arrived.
+        subs: dict[tuple[int, int], set[int]] = {}
+        chosen: dict[int, list[int]] = {s: [] for s in range(n_stripes)}
+        for bid in arrival_order:
+            s, local = bid >> 20, bid & 0xFFFFF
+            node = local // alpha
+            if len(chosen[s]) >= k or node in chosen[s]:
+                continue
+            got = subs.setdefault((s, node), set())
+            got.add(local % alpha)
+            if len(got) == alpha:
+                chosen[s].append(node)
+        short = [s for s, nodes in chosen.items() if len(nodes) < k]
+        if short:
+            raise ValueError(f"stripe {short[0]} never completed k nodes")
+
+        def decode_stripe(s: int) -> np.ndarray:
+            nodes = chosen[s]
+            contents = np.stack(
+                [
+                    np.stack(
+                        [payloads[(s << 20) | (j * alpha + a)] for a in range(alpha)]
+                    )
+                    for j in nodes
+                ]
+            )
+            return code.decode(nodes, contents)  # (B, L)
+
+        decoded = parallel_group_map(decode_stripe, n_stripes)
+        out = np.zeros((cfg.k, cfg.block_bytes), dtype=np.uint8)
+        for s, dec in enumerate(decoded):
+            lo = s * B
+            hi = min(cfg.k, lo + B)
+            out[lo:hi] = dec[: hi - lo]
+        return out
+
+
 CODECS: dict[str, Codec] = {
     "raid0": PlainCodec(),
     "rraid-s": ReplicaCodec(),
@@ -165,6 +240,8 @@ CODECS: dict[str, Codec] = {
     "lt+adaptive": LTCodec(),
     "mirror+adaptive": ReplicaCodec(),
     "rs+adaptive": RSGroupCodec(),
+    "regen-msr": RegenCodec(),
+    "regen-mbr": RegenCodec(),
 }
 
 

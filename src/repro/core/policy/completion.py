@@ -27,6 +27,7 @@ from repro.accesscore.trackers import (
     DecoderTracker,
     GroupedRSTracker,
     ParityStripeTracker,
+    RegenStripeTracker,
 )
 from repro.coding.peeling import PeelingDecoder
 from repro.core.policy.base import ReadPlan
@@ -127,6 +128,41 @@ class GroupedRSCompletion(_CompletionBase):
             max(0.0, t_done - t_fill) if np.isfinite(t_done) else float("inf")
         )
         return {"decode_tail_s": decode_tail, "group": tracker.group_size}
+
+
+class RegenCompletion(_CompletionBase):
+    """Regenerating stripes: k complete nodes per stripe, pipelined decode.
+
+    Like grouped RS, stripes decode one at a time as they fill, and the
+    cancel goes out at fill while the client decodes locally.  The decode
+    rate uses the GF(256) bandwidth table at word length ``d`` — the
+    product-matrix decoder's systems are ``d x d``, far smaller than an
+    RS word, which is the decode-side half of the regenerating bargain.
+    """
+
+    def tracker(self, scheme, record, plan: ReadPlan):
+        c = record.coding
+        return RegenStripeTracker(
+            c["stripes"], c["nodes"], c["k"], c["alpha"], c["d"]
+        )
+
+    def finish(self, scheme, tracker, t_fill):
+        cfg = scheme.config
+        stripe_bytes = tracker.k * tracker.alpha * cfg.block_bytes
+        stripe_decode_s = stripe_bytes / rs_decode_bandwidth_bps(tracker.d)
+        decoder_free = 0.0
+        for ft in sorted(tracker.fill_times):
+            decoder_free = max(decoder_free, ft) + stripe_decode_s
+        t_done = (
+            decoder_free if tracker.fill_times and tracker.complete else float("inf")
+        )
+        return t_done, t_fill
+
+    def extras(self, scheme, tracker, t_fill, t_done):
+        decode_tail = (
+            max(0.0, t_done - t_fill) if np.isfinite(t_done) else float("inf")
+        )
+        return {"decode_tail_s": decode_tail, "regen_nodes": tracker.nodes}
 
 
 class ParityCompletion(_CompletionBase):

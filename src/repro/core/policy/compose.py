@@ -29,6 +29,7 @@ from repro.core.policy.completion import (
     GroupedRSCompletion,
     LTDecodeCompletion,
     ParityCompletion,
+    RegenCompletion,
 )
 from repro.core.policy.dispatch import AdaptiveDispatch, SpeculativeDispatch
 from repro.core.policy.placement import (
@@ -36,6 +37,8 @@ from repro.core.policy.placement import (
     MirroredStripePlacement,
     ParityStripePlacement,
     RatelessCodedPlacement,
+    RegeneratingMBRPlacement,
+    RegeneratingMSRPlacement,
     RotatedReplicaPlacement,
     StripedPlacement,
 )
@@ -77,6 +80,8 @@ _MIRRORED = MirroredStripePlacement()
 _PARITY = ParityStripePlacement()
 _RATELESS = RatelessCodedPlacement()
 _GROUPED_RS = GroupedRSPlacement()
+_REGEN_MSR = RegeneratingMSRPlacement()
+_REGEN_MBR = RegeneratingMBRPlacement()
 
 _SPECULATIVE = SpeculativeDispatch()
 _ADAPTIVE = AdaptiveDispatch()
@@ -85,6 +90,7 @@ _ALL_BLOCKS = AllBlocksCompletion()
 _COVERAGE = CoverageCompletion()
 _LT_DECODE = LTDecodeCompletion()
 _RS_FILL = GroupedRSCompletion()
+_REGEN_FILL = RegenCompletion()
 _PARITY_FILL = ParityCompletion()
 
 _ABORT = AbortOnLoss()
@@ -147,6 +153,18 @@ COMPOSITIONS: dict[str, SchemeSpec] = {
     "rs+adaptive": SchemeSpec(
         "rs+adaptive", _GROUPED_RS, _ADAPTIVE, _RS_FILL, _PASSIVE,
         _ENCODE_OVERLAP, traced=False,
+    ),
+    # Regenerating codes (repro.rebuild): product-matrix stripes whose
+    # node repair reads d*beta blocks from helpers instead of a whole
+    # stripe.  MSR matches RS storage overhead exactly — the ext_repair
+    # experiment compares their repair economies at equal cost.
+    "regen-msr": SchemeSpec(
+        "regen-msr", _REGEN_MSR, _SPECULATIVE, _REGEN_FILL, _RESPECULATE,
+        _UNIFORM, traced=False,
+    ),
+    "regen-mbr": SchemeSpec(
+        "regen-mbr", _REGEN_MBR, _SPECULATIVE, _REGEN_FILL, _RESPECULATE,
+        _UNIFORM, traced=False,
     ),
 }
 

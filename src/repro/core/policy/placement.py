@@ -212,6 +212,77 @@ class RatelessCodedPlacement(_PlacementBase):
         )
 
 
+class RegeneratingPlacement(_PlacementBase):
+    """Product-matrix regenerating stripes: whole nodes on single disks.
+
+    The file is cut into stripes of ``B`` original blocks; each stripe is
+    encoded by the exact product-matrix code into ``n`` *nodes* of
+    ``alpha`` coded blocks, and a node's blocks land together on one disk
+    (block id ``(stripe << 20) | (node * alpha + sub)``) — so a disk
+    failure is a node failure, repairable from ``d`` helper nodes at
+    ``d * beta`` blocks instead of a whole-stripe read.  The per-stripe
+    geometry is fixed (class attributes); ``cfg.redundancy`` sets the node
+    count so the storage overhead matches the other coded schemes.
+    """
+
+    #: Originals recoverable from any K_G nodes of a stripe.
+    K_G = 3
+    #: Helpers contacted per node repair.
+    D_G = 4
+
+    mode: str
+    alpha: int
+    stripe_symbols: int
+
+    def nodes_per_stripe(self, cfg) -> int:
+        """Node count matching ``1 + cfg.redundancy`` storage overhead."""
+        want = self.stripe_symbols * (1.0 + cfg.redundancy) / self.alpha
+        return max(self.D_G + 1, min(255, int(round(want))))
+
+    def coding(self, cfg) -> dict:
+        n = self.nodes_per_stripe(cfg)
+        return {
+            "algorithm": f"regenerating-{self.mode}",
+            "mode": self.mode,
+            "nodes": n,
+            "k": self.K_G,
+            "d": self.D_G,
+            "alpha": self.alpha,
+            "stripe_symbols": self.stripe_symbols,
+            "stripes": -(-cfg.k // self.stripe_symbols),
+        }
+
+    def plan(self, cfg, n_disks, trial):
+        coding = self.coding(cfg)
+        n, alpha = coding["nodes"], coding["alpha"]
+        placement = [[] for _ in range(n_disks)]
+        for s in range(coding["stripes"]):
+            for j in range(n):
+                disk = (s * n + j) % n_disks
+                for a in range(alpha):
+                    placement[disk].append((s << 20) | (j * alpha + a))
+        return PlacementSpec(placement, coding)
+
+
+class RegeneratingMSRPlacement(RegeneratingPlacement):
+    """MSR point at d = 2k-2: per-node storage equals the MDS optimum."""
+
+    mode = "msr"
+    alpha = RegeneratingPlacement.K_G - 1            # = 2
+    stripe_symbols = RegeneratingPlacement.K_G * (RegeneratingPlacement.K_G - 1)  # = 6
+
+
+class RegeneratingMBRPlacement(RegeneratingPlacement):
+    """MBR point: repair moves exactly what the lost node stored."""
+
+    mode = "mbr"
+    alpha = RegeneratingPlacement.D_G                # = 4
+    stripe_symbols = (
+        RegeneratingPlacement.K_G * RegeneratingPlacement.D_G
+        - RegeneratingPlacement.K_G * (RegeneratingPlacement.K_G - 1) // 2
+    )  # = 9
+
+
 class GroupedRSPlacement(_PlacementBase):
     """RobuSTore-RS: per-group RS words interleaved across all disks."""
 

@@ -15,6 +15,7 @@ from repro.experiments import (
     ext_matrix,
     faultstorm,
     multiuser,
+    repair_experiment,
     serve_experiment,
     cache_experiments,
     coding_experiments,
@@ -62,7 +63,7 @@ REGISTRY = {
     "ext_failures": extensions.ext_failures,
     "ext_baselines": extensions.ext_baselines,
     "ext_wan_regime": extensions.ext_wan_regime,
-    "ext_repair": extensions.ext_repair,
+    "ext_repair": repair_experiment.ext_repair,
     "ext_faultstorm": faultstorm.ext_faultstorm,
     "ext_matrix": ext_matrix.ext_matrix,
 }

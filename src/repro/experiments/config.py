@@ -9,6 +9,9 @@ Environment knobs (for quick runs vs full paper-scale runs):
     Trials per configuration point (default 20; the paper uses 100).
 ``REPRO_DATA_MB``
     Access size in MB (default 1024, the paper's 1 GB).
+``REPRO_ENGINE``
+    Simulation engine for every access: ``closed`` (vectorised closed
+    form, the default) or ``event`` (the event-driven reference engine).
 """
 
 from __future__ import annotations
@@ -37,6 +40,14 @@ def trials(default: int = 20) -> int:
 def data_mb(default: int = 1024) -> int:
     """Access size in MB (``REPRO_DATA_MB`` overrides)."""
     return int(os.environ.get("REPRO_DATA_MB", default))
+
+
+def engine(default: str = "closed") -> str:
+    """Simulation engine for every access (``REPRO_ENGINE`` overrides)."""
+    value = os.environ.get("REPRO_ENGINE", default)
+    if value not in ("closed", "event"):
+        raise ValueError(f"unknown engine {value!r} (expected closed|event)")
+    return value
 
 
 def baseline_access(**overrides) -> AccessConfig:

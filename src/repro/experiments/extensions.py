@@ -279,53 +279,6 @@ def ext_wan_regime(
     return WanRegimeResult(rows)
 
 
-@dataclass
-class RepairResult:
-    rows: list
-
-    def text(self) -> str:
-        return format_table(
-            "Extension: erasure-coded rebuild after disk failures (§5.3.1)",
-            self.rows,
-        )
-
-
-def ext_repair(
-    failure_counts=(1, 2, 4, 8), data_mb: int = 256, trials: int = 4, seed: int = 0
-) -> RepairResult:
-    """Rebuild time and traffic as more disks die at once.
-
-    The reconstruction read needs only ~(1+eps)K blocks however many disks
-    died; only the re-write grows with the loss.
-    """
-    from repro.core.repair import repair_file
-    from repro.experiments.harness import TrialPlan  # noqa: F401 (doc link)
-    from repro.sim.rng import RngHub
-
-    cfg = AccessConfig(
-        data_bytes=data_mb * MB, block_bytes=1 * MB, n_disks=32, redundancy=3.0
-    )
-    rows = []
-    for nf in failure_counts:
-        read_lat, write_lat, rebuilt = [], [], []
-        for trial in range(trials):
-            cluster = Cluster(n_disks=64)
-            hub = RngHub(seed + trial)
-            scheme = RobuStoreScheme(cluster, cfg, hub=hub)
-            cluster.redraw_disk_states(hub.fresh("env", trial))
-            record = scheme.prepare("f", trial)
-            failed = {record.disk_ids[p] for p in range(nf)}
-            cluster.redraw_disk_states(hub.fresh("env", trial), failed_disks=failed)
-            report = repair_file(scheme, "f", trial)
-            read_lat.append(report.read_latency_s)
-            write_lat.append(report.write_latency_s)
-            rebuilt.append(report.blocks_rebuilt)
-        rows.append(
-            {
-                "failed_disks": nf,
-                "blocks_rebuilt": int(np.mean(rebuilt)),
-                "read_s": round(float(np.mean(read_lat)), 2),
-                "rebuild_write_s": round(float(np.mean(write_lat)), 2),
-            }
-        )
-    return RepairResult(rows)
+# ``ext_repair`` moved to :mod:`repro.experiments.repair_experiment`: the
+# single-scheme rebuild-time sweep grew into the coding-family x
+# rebuild-scheduler repair-economy grid.

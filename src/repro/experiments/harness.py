@@ -74,6 +74,11 @@ class TrialPlan:
     fault_model: Optional[object] = None
     #: Sampling horizon (simulated seconds) for ``fault_model`` storms.
     fault_horizon_s: float = 60.0
+    #: Simulation engine: ``closed`` (vectorised closed form) or ``event``
+    #: (the event-driven reference engine).  Defaults from ``REPRO_ENGINE``
+    #: (the runner's ``--engine`` flag sets it); an explicit ``engine=``
+    #: argument to :func:`run_scheme` still overrides the plan.
+    engine: str = field(default_factory=C.engine)
 
     def __post_init__(self) -> None:
         if self.mode not in ("read", "write", "raw"):
@@ -82,6 +87,8 @@ class TrialPlan:
             raise ValueError(f"unknown background mode {self.background!r}")
         if self.fault_plan is not None and self.fault_model is not None:
             raise ValueError("fault_plan and fault_model are mutually exclusive")
+        if self.engine not in ("closed", "event"):
+            raise ValueError(f"unknown engine {self.engine!r}")
 
     def bg_intervals(self, rng: np.random.Generator) -> Optional[dict[int, float]]:
         if self.background == "none":
@@ -174,7 +181,7 @@ TRACE_TRIAL_GAP_S = 0.05
 
 
 def run_scheme(
-    plan: TrialPlan, scheme_name: str, tracer=None, engine: str = "closed"
+    plan: TrialPlan, scheme_name: str, tracer=None, engine: str | None = None
 ) -> list[AccessResult]:
     """Run all trials of one scheme under ``plan``.
 
@@ -187,8 +194,12 @@ def run_scheme(
 
     ``engine="event"`` runs every access on the event-driven reference
     engine instead of the closed form — same trial structure, same
-    environment redraws, different clock.
+    environment redraws, different clock.  ``None`` (the default) takes
+    the plan's ``engine`` field, which in turn defaults from
+    ``REPRO_ENGINE`` / the runner's ``--engine`` flag.
     """
+    if engine is None:
+        engine = plan.engine
     if engine not in ("closed", "event"):
         raise ValueError(f"unknown engine {engine!r}")
     cls = scheme_class(scheme_name)  # raises ValueError for unknown names

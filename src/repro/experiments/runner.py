@@ -84,6 +84,12 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="include per-block spans in the trace (much larger output)",
     )
+    parser.add_argument(
+        "--engine",
+        choices=("closed", "event"),
+        default=None,
+        help="simulation engine for every access (default: $REPRO_ENGINE or closed)",
+    )
     args = parser.parse_args(argv)
 
     if args.list or not args.ids:
@@ -104,6 +110,14 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.csv:
         _preflight_csv_dir(parser, args.csv)
+
+    if args.engine:
+        # TrialPlan defaults its engine field from REPRO_ENGINE, so setting
+        # the variable threads the choice through every run_scheme call
+        # (including ones executed in -j worker processes).
+        import os
+
+        os.environ["REPRO_ENGINE"] = args.engine
 
     tracer = None
     if args.trace:

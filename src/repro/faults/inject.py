@@ -170,22 +170,19 @@ class FaultInjector:
         return env.process(pump(), name="fault-injector")
 
 
-def maybe_repair(scheme, file_name: str, trial: int, result):
-    """Run a :mod:`repro.core.repair` pass if the read flagged lost redundancy.
+def maybe_repair(scheme, file_name: str, trial: int, result, scheduler=None, ledger=None):
+    """Delegating alias for :func:`repro.core.repair.maybe_repair`.
 
-    RobuSTore reads under an active injector report
-    ``extra["repair_triggered"]`` when permanent failures pushed the
-    file's surviving redundancy below the scheme's floor
-    (``RobuStoreScheme.REPAIR_REDUNDANCY_FLOOR``, read by the
-    :class:`repro.core.policy.reaction.Respeculate` policy).  This helper performs
-    the rebuild and returns the :class:`repro.core.repair.RepairReport`,
-    or ``None`` when no repair was needed.
+    Kept here (lazily imported, avoiding the policy-layer import cycle)
+    so fault-handling call sites can keep importing the repair entry
+    point from :mod:`repro.faults`.  Returns the structured
+    :class:`repro.core.repair.RepairDecision`.
     """
-    if not result.extra.get("repair_triggered"):
-        return None
-    from repro.core.repair import repair_file
+    from repro.core.repair import maybe_repair as _maybe_repair
 
-    return repair_file(scheme, file_name, trial)
+    return _maybe_repair(
+        scheme, file_name, trial, result, scheduler=scheduler, ledger=ledger
+    )
 
 
 def surviving_blocks(injector: Optional[FaultInjector], record) -> int:

@@ -40,10 +40,11 @@ from repro.lint.engine import FileContext
 
 #: Packages whose functions must stay transitively deterministic: the
 #: DES kernel and data path (``core``/``accesscore``/``disk``/
-#: ``cluster``/``sim``) plus the payload-hash-caching layers
-#: (``exec``/``serve``).
+#: ``cluster``/``sim``), the payload-hash-caching layers
+#: (``exec``/``serve``), and the repair economy (``rebuild`` — its
+#: ledgers and schedulers feed pinned golden tables).
 SIM_CRITICAL_PACKAGES = (
-    "core", "accesscore", "disk", "cluster", "sim", "exec", "serve"
+    "core", "accesscore", "disk", "cluster", "sim", "exec", "serve", "rebuild"
 )
 
 

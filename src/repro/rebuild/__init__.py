@@ -1,0 +1,43 @@
+"""repro.rebuild — the repair economy as a first-class, metered activity.
+
+The fault layer kills disks and the schemes re-speculate around the loss,
+but restoring the lost redundancy has a *network* price: helper reads,
+replacement writes, disks dragged into the rebuild, and degraded
+foreground reads while the file sits below its redundancy target.  This
+package meters and schedules that work:
+
+* :mod:`repro.rebuild.ledger` — :class:`RepairLedger` /
+  :class:`RepairEvent`: one append-only account of every rebuild and
+  every degraded read, hung off the cluster so the single
+  ``accesscore.repair`` wiring site covers both engines.
+* :mod:`repro.rebuild.scheduler` — pluggable rebuild schedulers (eager,
+  lazy threshold-triggered, batched) deciding *when* a flagged file is
+  actually rebuilt; repair traffic then consumes drive capacity through
+  the ordinary disk service model.
+
+The regenerating-code side of the economy lives in
+:mod:`repro.coding.regenerating`; the repair passes that pay the ledger
+are in :mod:`repro.core.repair`; the ``ext_repair`` experiment sweeps the
+whole space under seeded fault storms.
+"""
+
+from repro.rebuild.ledger import RepairEvent, RepairLedger
+from repro.rebuild.scheduler import (
+    BatchedScheduler,
+    EagerScheduler,
+    LazyThresholdScheduler,
+    RebuildScheduler,
+    RepairTask,
+    scheduler_for,
+)
+
+__all__ = [
+    "BatchedScheduler",
+    "EagerScheduler",
+    "LazyThresholdScheduler",
+    "RebuildScheduler",
+    "RepairEvent",
+    "RepairLedger",
+    "RepairTask",
+    "scheduler_for",
+]

@@ -1,0 +1,115 @@
+"""Rebuild schedulers: *when* a flagged file is actually repaired.
+
+A degraded read flags a file; the scheduler decides whether the rebuild
+runs now or waits.  The three classic policies:
+
+* :class:`EagerScheduler` — repair immediately on every trigger.  Lowest
+  data-loss risk, maximum interference with foreground traffic.
+* :class:`LazyThresholdScheduler` — queue triggers and only drain the
+  queue once some file's surviving redundancy falls below a deeper
+  floor.  Transient failures that recover on their own never cost a
+  byte of repair traffic.
+* :class:`BatchedScheduler` — queue triggers and drain in fixed-size
+  batches, amortising the per-pass disk seeks.
+
+Schedulers are small per-run mutable queues (unlike the stateless policy
+singletons of :mod:`repro.core.policy` — one scheduler instance serves
+one simulation run).  :func:`repro.core.repair.maybe_repair` offers each
+trigger and repairs whatever the scheduler releases; anything still
+queued at the end of a run is surfaced by :meth:`RebuildScheduler.flush`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RepairTask:
+    """One flagged file awaiting rebuild."""
+
+    file_name: str
+    trial: int
+    #: Sorted ids of the permanently-failed disks that triggered the flag.
+    dead_disks: tuple[int, ...]
+    #: Surviving redundancy at trigger time (e.g. 0.5 = 1.5x the data).
+    surviving_redundancy: float
+
+
+class RebuildScheduler:
+    """Base: a FIFO of offered tasks; subclasses decide the release rule."""
+
+    policy = "base"
+
+    def __init__(self) -> None:
+        self._queue: list[RepairTask] = []
+
+    @property
+    def pending(self) -> tuple[RepairTask, ...]:
+        return tuple(self._queue)
+
+    def offer(self, task: RepairTask) -> list[RepairTask]:
+        """Queue ``task``; return every task that should repair *now*."""
+        self._queue.append(task)
+        if self._release(task):
+            return self._drain()
+        return []
+
+    def flush(self) -> list[RepairTask]:
+        """Release everything still queued (end of run / operator drain)."""
+        return self._drain()
+
+    def _release(self, task: RepairTask) -> bool:
+        raise NotImplementedError
+
+    def _drain(self) -> list[RepairTask]:
+        out, self._queue = self._queue, []
+        return out
+
+
+class EagerScheduler(RebuildScheduler):
+    """Repair on every trigger, immediately."""
+
+    policy = "eager"
+
+    def _release(self, task: RepairTask) -> bool:
+        return True
+
+
+class LazyThresholdScheduler(RebuildScheduler):
+    """Wait until some file's surviving redundancy dips below ``floor``."""
+
+    policy = "lazy"
+
+    def __init__(self, floor: float = 0.25) -> None:
+        super().__init__()
+        self.floor = floor
+
+    def _release(self, task: RepairTask) -> bool:
+        return task.surviving_redundancy < self.floor
+
+
+class BatchedScheduler(RebuildScheduler):
+    """Accumulate ``batch_size`` triggers, then drain them together."""
+
+    policy = "batched"
+
+    def __init__(self, batch_size: int = 4) -> None:
+        super().__init__()
+        self.batch_size = batch_size
+
+    def _release(self, task: RepairTask) -> bool:
+        return len(self._queue) >= self.batch_size
+
+
+def scheduler_for(policy: str, **kwargs) -> RebuildScheduler:
+    """Construct a scheduler by policy name (``eager``/``lazy``/``batched``)."""
+    try:
+        cls = {
+            "eager": EagerScheduler,
+            "lazy": LazyThresholdScheduler,
+            "batched": BatchedScheduler,
+        }[policy]
+    except KeyError:
+        raise ValueError(f"unknown rebuild policy {policy!r}") from None
+    return cls(**kwargs)

@@ -93,6 +93,7 @@ STREAMS = {
     "bgphase": 5,         #: background-stream initial phase draws (core.base)
     "cal-env": 3,         #: serving calibration environments
     "repair-extend": 3,   #: repair-time redundancy extension draws
+    "rebuild": 2,         #: repair-economy storm sampling (ext_repair)
     "serve": 2,           #: workload generation + service facade
     "disk": 2,            #: per-disk layout draws (doctest/tests convention)
     "bg": 3,              #: background-workload generators

@@ -12,7 +12,9 @@ Writes:
   storm (:func:`tests.test_faults_golden.build_fault_reference`);
 * ``golden_schemes.json`` — every scheme's full ``AccessResult`` across
   read/write/raw x {no faults, storm}
-  (:func:`tests.test_golden_schemes.build_scheme_reference`).
+  (:func:`tests.test_golden_schemes.build_scheme_reference`);
+* ``golden_repair.json`` — the repair-economy grid under the pinned
+  storm seed (:func:`tests.test_repair_golden.build_repair_reference`).
 """
 
 import json
@@ -21,6 +23,7 @@ import pathlib
 from tests.test_faults_golden import build_fault_reference
 from tests.test_golden_schemes import build_scheme_reference
 from tests.test_obs_tracer import build_reference_tracer
+from tests.test_repair_golden import build_repair_reference
 
 if __name__ == "__main__":
     data = pathlib.Path(__file__).parent / "data"
@@ -38,4 +41,8 @@ if __name__ == "__main__":
 
     path = data / "golden_schemes.json"
     path.write_text(json.dumps(build_scheme_reference(), indent=1) + "\n")
+    print(f"wrote {path}")
+
+    path = data / "golden_repair.json"
+    path.write_text(json.dumps(build_repair_reference(), indent=1) + "\n")
     print(f"wrote {path}")

@@ -145,20 +145,36 @@ class TestRepairTrigger:
         assert np.isfinite(r.latency_s)  # still decodes from survivors
         assert r.extra["repair_triggered"]
         assert r.extra["surviving_redundancy"] == pytest.approx(1.0)
-        report = maybe_repair(scheme, "f", 0, r)
-        assert report is not None
+        decision = maybe_repair(scheme, "f", 0, r)
+        assert decision.triggered and decision.repaired
+        assert decision.reason == "repaired"
+        assert len(decision.dead_disks) == 4
+        (report,) = decision.reports
+        assert report.complete and report.bytes_read_helpers > 0
+
+    def test_repeat_notification_same_epoch_is_deduped(self):
+        r, scheme = run_with_plan("robustore", permanent_kills([0, 1, 2, 3]))
+        first = maybe_repair(scheme, "f", 0, r)
+        assert first.repaired
+        again = maybe_repair(scheme, "f", 0, r)
+        assert again.triggered and not again.repaired
+        assert again.reason == "duplicate"
+        assert again.dead_disks == first.dead_disks
 
     def test_three_kills_stay_above_the_floor(self):
         r, scheme = run_with_plan("robustore", permanent_kills([0, 1, 2]))
         assert np.isfinite(r.latency_s)
         assert not r.extra["repair_triggered"]
         assert r.extra["surviving_redundancy"] == pytest.approx(1.5)
-        assert maybe_repair(scheme, "f", 0, r) is None
+        decision = maybe_repair(scheme, "f", 0, r)
+        assert not decision.triggered and not decision.repaired
+        assert decision.reason == "healthy"
 
     def test_no_faults_no_trigger(self):
         r, scheme = run_with_plan("robustore", None)
         assert not r.extra.get("repair_triggered")
-        assert maybe_repair(scheme, "f", 0, r) is None
+        decision = maybe_repair(scheme, "f", 0, r)
+        assert not decision.triggered and not decision.repaired
 
 
 # ------------------------------------------------------------ write path

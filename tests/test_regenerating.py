@@ -1,0 +1,157 @@
+"""Property tests: product-matrix regenerating codes are exact.
+
+The Rashmi-Shah-Kumar contracts, under random geometry and random data:
+
+* any ``k`` of the ``n`` node contents decode the message byte-identically;
+* any ``d`` helpers rebuild a lost node byte-identically (functional
+  repair is in fact *exact* for product-matrix codes);
+* a full failure cascade — lose up to ``n - k`` nodes, repair each from
+  ``d`` survivors, then decode through the repaired nodes — round-trips.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding.regenerating import (
+    ProductMatrixMBR,
+    ProductMatrixMSR,
+    mbr_point,
+    msr_point,
+    product_matrix_code,
+)
+
+
+def _message(code, seed: int, L: int = 5) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=(code.B, L), dtype=np.uint8)
+
+
+def _mbr(k: int, d_extra: int, n_extra: int) -> ProductMatrixMBR:
+    d = k + d_extra
+    return ProductMatrixMBR(k, d, n=d + 1 + n_extra)
+
+
+def _msr(k: int, n_extra: int) -> ProductMatrixMSR:
+    d = 2 * k - 2
+    return ProductMatrixMSR(k, n=d + 1 + n_extra)
+
+
+mbr_codes = st.builds(
+    _mbr, st.integers(2, 4), st.integers(0, 2), st.integers(0, 3)
+)
+msr_codes = st.builds(_msr, st.integers(2, 4), st.integers(0, 3))
+any_code = st.one_of(mbr_codes, msr_codes)
+
+
+class TestRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(code=any_code, seed=st.integers(0, 2**32 - 1), pick=st.randoms())
+    def test_any_k_nodes_decode(self, code, seed, pick):
+        message = _message(code, seed)
+        contents = code.encode(message)
+        ids = pick.sample(range(code.n), code.k)
+        decoded = code.decode(ids, contents[ids])
+        np.testing.assert_array_equal(decoded, message)
+
+    @settings(max_examples=40, deadline=None)
+    @given(code=any_code, seed=st.integers(0, 2**32 - 1), pick=st.randoms())
+    def test_any_d_helpers_repair_exactly(self, code, seed, pick):
+        message = _message(code, seed)
+        contents = code.encode(message)
+        failed = pick.randrange(code.n)
+        helpers = pick.sample([i for i in range(code.n) if i != failed], code.d)
+        symbols = np.stack(
+            [code.helper_symbol(contents[h], failed) for h in helpers]
+        )
+        rebuilt = code.repair(failed, helpers, symbols)
+        np.testing.assert_array_equal(rebuilt, contents[failed])
+
+    @settings(max_examples=25, deadline=None)
+    @given(code=any_code, seed=st.integers(0, 2**32 - 1), pick=st.randoms())
+    def test_failure_cascade_then_decode(self, code, seed, pick):
+        """Lose up to n-k nodes, repair each from survivors, decode through
+        the repaired nodes: byte-identical end to end."""
+        message = _message(code, seed)
+        contents = code.encode(message).copy()
+        n_lost = min(code.n - code.d, code.n - code.k)
+        assert n_lost >= 1
+        lost = pick.sample(range(code.n), n_lost)
+        contents[lost] = 0  # destroy
+        for failed in lost:
+            helpers = pick.sample(
+                [i for i in range(code.n) if i != failed and i not in lost],
+                code.d,
+            )
+            symbols = np.stack(
+                [code.helper_symbol(contents[h], failed) for h in helpers]
+            )
+            contents[failed] = code.repair(failed, helpers, symbols)
+        # Decode through a subset biased to include every repaired node.
+        ids = (lost + [i for i in range(code.n) if i not in lost])[: code.k]
+        decoded = code.decode(ids, contents[ids])
+        np.testing.assert_array_equal(decoded, message)
+
+
+class TestTradeoffPoints:
+    def test_msr_matches_mds_storage(self):
+        # alpha = B/k: per-node storage is the MDS optimum.
+        code = _msr(4, 1)
+        assert code.alpha * code.k == code.B
+        alpha, gamma = msr_point(code.B, code.k, code.d)
+        assert alpha == pytest.approx(code.alpha)
+        assert gamma > alpha  # repair still reads more than one node stores
+
+    def test_mbr_matches_minimum_repair_bandwidth(self):
+        # Repair bandwidth equals node storage: d symbols for alpha = d.
+        code = _mbr(3, 1, 1)
+        alpha, gamma = mbr_point(code.B, code.k, code.d)
+        assert alpha == pytest.approx(gamma)
+        assert code.alpha == code.d
+
+    def test_mbr_stores_more_than_msr_per_symbol(self):
+        # The tradeoff: MBR inflates storage beyond B/k to shrink repair.
+        code = _mbr(3, 1, 1)
+        assert code.alpha * code.k > code.B
+
+
+class TestValidation:
+    def test_decode_needs_exactly_k_nodes(self):
+        code = _mbr(3, 0, 1)
+        message = _message(code, 1)
+        contents = code.encode(message)
+        with pytest.raises(ValueError, match="exactly k"):
+            code.decode([0, 1], contents[[0, 1]])
+
+    def test_repair_needs_exactly_d_helpers(self):
+        code = _msr(3, 1)
+        message = _message(code, 2)
+        contents = code.encode(message)
+        sym = code.helper_symbol(contents[1], 0)
+        with pytest.raises(ValueError):
+            code.repair(0, [1], np.stack([sym]))
+
+    def test_msr_rejects_wrong_d(self):
+        with pytest.raises(ValueError):
+            ProductMatrixMSR(3, n=8, d=5)  # d must be 2k-2 = 4
+
+    def test_mbr_rejects_d_below_k(self):
+        with pytest.raises(ValueError):
+            ProductMatrixMBR(4, d=3, n=6)
+
+    def test_message_shape_checked(self):
+        code = _mbr(2, 0, 0)
+        with pytest.raises(ValueError, match="message"):
+            code.encode(np.zeros((code.B + 1, 4), dtype=np.uint8))
+
+
+class TestFactory:
+    def test_codes_are_memoized(self):
+        a = product_matrix_code("msr", 3, 4, 7)
+        b = product_matrix_code("msr", 3, 4, 7)
+        assert a is b
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError):
+            product_matrix_code("mds", 3, 4, 7)
